@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module both (a) micro-benchmarks its core operation with
+pytest-benchmark and (b) regenerates its experiment table (the EXPERIMENTS.md
+artifact), writing it to ``bench_results/`` and echoing it to stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_experiment(result, results_dir: Path) -> None:
+    """Persist an ExperimentResult table and echo it for the bench log."""
+    rendered = result.render()
+    path = results_dir / f"{result.experiment_id}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+    sys.stdout.write("\n" + rendered + "\n")

@@ -1,0 +1,23 @@
+"""E0 — the Figure 1 worked example (micro-bench + table)."""
+
+from conftest import save_experiment
+
+from repro.bench.experiments import figure1_instance, run_e0_figure1
+from repro.problems.bagset_max import maximize, maximize_brute_force
+
+
+def test_bench_fig1_unified(benchmark):
+    query, instance = figure1_instance()
+    result = benchmark(maximize, query, instance)
+    assert result == 4
+
+
+def test_bench_fig1_brute_force(benchmark):
+    query, instance = figure1_instance()
+    result = benchmark(maximize_brute_force, query, instance)
+    assert result == 4
+
+
+def test_e0_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e0_figure1, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

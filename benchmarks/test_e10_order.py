@@ -1,0 +1,40 @@
+"""E10 — ablation: elimination-order policies (Proposition 5.1 confluence)."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.algebra.probability import ProbabilityMonoid
+from repro.bench.experiments import run_e10_order_ablation
+from repro.core.algorithm import evaluate_hierarchical
+from repro.query.families import star_query
+from repro.workloads.generators import random_probabilistic_database
+
+
+@pytest.fixture(scope="module")
+def workload():
+    query = star_query(4)
+    database = random_probabilistic_database(
+        query, facts_per_relation=800, domain_size=3000, seed=10
+    )
+    return query, database
+
+
+@pytest.mark.parametrize("policy", ["rule1_first", "rule2_first"])
+def test_bench_policy(benchmark, workload, policy):
+    query, database = workload
+
+    def run():
+        return evaluate_hierarchical(
+            query, ProbabilityMonoid(), database.facts(),
+            lambda fact: database.probability(fact), policy=policy,
+        )
+
+    probability = benchmark(run)
+    assert 0.0 <= probability <= 1.0
+
+
+def test_e10_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e10_order_ablation, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

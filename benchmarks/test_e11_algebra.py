@@ -1,0 +1,49 @@
+"""E11 — 2-monoid operation micro-benchmarks and the law census table."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.algebra.bagset import BagSetMonoid
+from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.shapley import ShapleyMonoid
+from repro.bench.experiments import run_e11_law_census
+
+
+def test_bench_probability_ops(benchmark):
+    monoid = ProbabilityMonoid()
+
+    def ops():
+        return monoid.add(0.3, monoid.mul(0.5, 0.7))
+
+    assert 0.0 <= benchmark(ops) <= 1.0
+
+
+@pytest.mark.parametrize("length", [9, 33, 129])
+def test_bench_bagset_convolution(benchmark, length):
+    monoid = BagSetMonoid(length)
+    x = tuple(range(length))
+    y = monoid.star
+
+    def ops():
+        return monoid.add(x, monoid.mul(x, y))
+
+    result = benchmark(ops)
+    assert len(result) == length
+
+
+@pytest.mark.parametrize("length", [9, 33, 129])
+def test_bench_shapley_convolution(benchmark, length):
+    monoid = ShapleyMonoid(length)
+    star = monoid.star
+    x = monoid.add(star, star)
+
+    def ops():
+        return monoid.add(x, monoid.mul(x, star))
+
+    result = benchmark(ops)
+    assert result.length == length
+
+
+def test_e11_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e11_law_census, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,41 @@
+"""E12 — extension: resilience via the (N ∪ {∞}, +, min) 2-monoid."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e12_resilience
+from repro.problems.resilience import (
+    ResilienceInstance,
+    resilience,
+    resilience_brute_force,
+)
+from repro.query.families import q_eq1
+from repro.workloads.generators import correlated_database, random_database
+
+
+@pytest.mark.parametrize("size", [500, 2000])
+def test_bench_resilience_unified(benchmark, size):
+    query = q_eq1()
+    database = correlated_database(
+        query, shared_values=size // 10, branch_values=size, seed=size
+    )
+    instance = ResilienceInstance.fully_endogenous(database)
+    value = benchmark(resilience, query, instance)
+    assert value >= 0
+
+
+def test_bench_resilience_brute_force(benchmark):
+    query = q_eq1()
+    database = random_database(query, facts_per_relation=3, domain_size=2, seed=1)
+    instance = ResilienceInstance.fully_endogenous(database)
+    value = benchmark.pedantic(
+        resilience_brute_force, args=(query, instance), rounds=3, iterations=1
+    )
+    assert value == resilience(query, instance)
+
+
+def test_e12_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e12_resilience, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

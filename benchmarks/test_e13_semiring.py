@@ -1,0 +1,35 @@
+"""E13 — the semiring/2-monoid boundary measured on q_nh."""
+
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e13_semiring_contrast
+from repro.problems.expected_count import expected_answer_count_direct
+from repro.problems.pqe import marginal_probability_brute_force
+from repro.query.families import q_nh
+from repro.workloads.generators import random_probabilistic_database
+
+
+def _workload(size: int):
+    return random_probabilistic_database(
+        q_nh(), facts_per_relation=size // 3, domain_size=3, seed=size
+    )
+
+
+def test_bench_expected_count_on_qnh(benchmark):
+    pdb = _workload(12)
+    value = benchmark(expected_answer_count_direct, q_nh(), pdb)
+    assert value >= 0
+
+
+def test_bench_probability_brute_force_on_qnh(benchmark):
+    pdb = _workload(12)
+    value = benchmark.pedantic(
+        marginal_probability_brute_force, args=(q_nh(), pdb),
+        rounds=2, iterations=1,
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def test_e13_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e13_semiring_contrast, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,59 @@
+"""E14 — extension: free-variable (per-answer) evaluation."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.probability import ProbabilityMonoid
+from repro.bench.experiments import run_e14_grouped
+from repro.core.grouped import compile_grouped_plan, evaluate_grouped
+from repro.query.families import star_query
+from repro.workloads.generators import (
+    random_database,
+    random_probabilistic_database,
+)
+
+
+@pytest.mark.parametrize("size", [1000, 4000])
+def test_bench_grouped_probability(benchmark, size):
+    query = star_query(2)
+    pdb = random_probabilistic_database(
+        query, facts_per_relation=size // 2, domain_size=size // 3, seed=size
+    )
+
+    def run():
+        return evaluate_grouped(
+            query, {"X"}, ProbabilityMonoid(), pdb.facts(),
+            lambda fact: pdb.probability(fact),
+        )
+
+    answers = benchmark(run)
+    assert len(answers) > 0
+
+
+def test_bench_grouped_counting(benchmark):
+    query = star_query(3)
+    database = random_database(
+        query, facts_per_relation=2000, domain_size=700, seed=14
+    )
+
+    def run():
+        return evaluate_grouped(
+            query, {"X"}, CountingSemiring(), database.facts(), lambda _f: 1
+        )
+
+    answers = benchmark(run)
+    assert len(answers) >= 0
+
+
+def test_bench_compile_grouped_plan(benchmark):
+    query = star_query(8)
+    plan = benchmark(compile_grouped_plan, query, {"X"})
+    assert plan.final_relation
+
+
+def test_e14_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e14_grouped, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

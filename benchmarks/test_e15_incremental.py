@@ -1,0 +1,56 @@
+"""E15 — extension: incremental maintenance under updates."""
+
+import random
+
+import pytest
+from conftest import save_experiment
+
+from repro.algebra.probability import ProbabilityMonoid
+from repro.bench.experiments import run_e15_incremental
+from repro.core.incremental import IncrementalEvaluator
+from repro.db.annotated import KDatabase
+from repro.db.fact import Fact
+from repro.query.families import q_eq1
+from repro.workloads.generators import random_probabilistic_database
+
+
+@pytest.mark.parametrize("size", [1000, 8000])
+def test_bench_incremental_update(benchmark, size):
+    query = q_eq1()
+    database = random_probabilistic_database(
+        query, facts_per_relation=size // 3, domain_size=max(4, size // 6),
+        seed=size,
+    )
+    monoid = ProbabilityMonoid()
+    annotated = KDatabase.annotate(
+        query, monoid, database.facts(), lambda fact: database.probability(fact)
+    )
+    evaluator = IncrementalEvaluator(query, annotated)
+    rng = random.Random(size)
+
+    def one_update():
+        fact = Fact("R", (rng.randrange(size), rng.randrange(size)))
+        return evaluator.update(fact, 0.5)
+
+    probability = benchmark(one_update)
+    assert 0.0 <= probability <= 1.0
+
+
+def test_bench_evaluator_construction(benchmark):
+    query = q_eq1()
+    database = random_probabilistic_database(
+        query, facts_per_relation=1000, domain_size=500, seed=15
+    )
+    monoid = ProbabilityMonoid()
+    annotated = KDatabase.annotate(
+        query, monoid, database.facts(), lambda fact: database.probability(fact)
+    )
+    evaluator = benchmark(IncrementalEvaluator, query, annotated)
+    assert 0.0 <= evaluator.result <= 1.0
+
+
+def test_e15_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e15_incremental, kwargs={"updates": 100}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

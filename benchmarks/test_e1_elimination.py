@@ -1,0 +1,35 @@
+"""E1 — elimination-procedure benchmarks and the Examples 5.2–5.4 table."""
+
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e1_elimination_examples
+from repro.core.plan import compile_plan
+from repro.query.elimination import eliminate
+from repro.query.families import q_eq1, star_query, telescope_query
+
+
+def test_bench_eliminate_eq1(benchmark):
+    trace = benchmark(eliminate, q_eq1())
+    assert trace.success
+
+
+def test_bench_eliminate_star_16(benchmark):
+    query = star_query(16)
+    trace = benchmark(eliminate, query)
+    assert trace.success
+
+
+def test_bench_eliminate_telescope_16(benchmark):
+    query = telescope_query(16)
+    trace = benchmark(eliminate, query)
+    assert trace.success
+
+
+def test_bench_compile_plan(benchmark):
+    plan = benchmark(compile_plan, q_eq1())
+    assert plan.final_relation
+
+
+def test_e1_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e1_elimination_examples, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,27 @@
+"""E2 — Theorem 5.8: PQE runtime is O(|D|)."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e2_pqe_scaling
+from repro.problems.pqe import marginal_probability
+from repro.query.families import q_eq1
+from repro.workloads.generators import random_probabilistic_database
+
+
+@pytest.mark.parametrize("size", [1000, 4000, 16000])
+def test_bench_pqe_unified(benchmark, size):
+    query = q_eq1()
+    database = random_probabilistic_database(
+        query, facts_per_relation=size // 3, domain_size=max(4, size // 6),
+        seed=size,
+    )
+    probability = benchmark(marginal_probability, query, database)
+    assert 0.0 <= probability <= 1.0
+
+
+def test_e2_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e2_pqe_scaling, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

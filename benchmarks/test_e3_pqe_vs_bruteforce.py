@@ -1,0 +1,37 @@
+"""E3 — PQE: unified algorithm vs possible-world enumeration."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e3_pqe_vs_bruteforce
+from repro.problems.pqe import (
+    marginal_probability,
+    marginal_probability_brute_force,
+)
+from repro.query.families import q_eq1
+from repro.workloads.generators import random_probabilistic_database
+
+
+@pytest.fixture(scope="module")
+def small_pdb():
+    return random_probabilistic_database(
+        q_eq1(), facts_per_relation=4, domain_size=3, seed=12
+    )
+
+
+def test_bench_unified_small(benchmark, small_pdb):
+    probability = benchmark(marginal_probability, q_eq1(), small_pdb)
+    assert 0.0 <= probability <= 1.0
+
+
+def test_bench_brute_force_small(benchmark, small_pdb):
+    probability = benchmark.pedantic(
+        marginal_probability_brute_force, args=(q_eq1(), small_pdb),
+        rounds=3, iterations=1,
+    )
+    assert 0.0 <= probability <= 1.0
+
+
+def test_e3_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e3_pqe_vs_bruteforce, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,42 @@
+"""E4 — Theorem 5.11: BSM runtime O((|D| + |Dr|) · |Dr|²)."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e4_bsm_scaling
+from repro.problems.bagset_max import BagSetInstance, maximize
+from repro.query.families import star_query
+from repro.workloads.generators import random_bagset_instance
+
+
+@pytest.mark.parametrize("base_size", [200, 800])
+def test_bench_bsm_base_sweep(benchmark, base_size):
+    query = star_query(2)
+    instance = random_bagset_instance(
+        query, base_facts_per_relation=base_size // 2,
+        repair_facts_per_relation=8, budget=8,
+        domain_size=max(8, base_size // 4), seed=base_size,
+    )
+    value = benchmark(maximize, query, instance)
+    assert value >= 0
+
+
+@pytest.mark.parametrize("repair_size", [16, 64])
+def test_bench_bsm_repair_sweep(benchmark, repair_size):
+    query = star_query(2)
+    instance = random_bagset_instance(
+        query, base_facts_per_relation=100,
+        repair_facts_per_relation=repair_size // 2, budget=repair_size,
+        domain_size=50, seed=repair_size,
+    )
+    theta = len(instance.repair_database)
+    instance = BagSetInstance(instance.database, instance.repair_database, theta)
+    value = benchmark(maximize, query, instance)
+    assert value >= 0
+
+
+def test_e4_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e4_bsm_scaling, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

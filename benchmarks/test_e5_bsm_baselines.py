@@ -1,0 +1,43 @@
+"""E5 — BSM: unified vs brute force vs greedy."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e5_bsm_vs_baselines
+from repro.problems.bagset_max import (
+    maximize,
+    maximize_brute_force,
+    maximize_greedy,
+)
+from repro.query.families import q_eq1
+from repro.workloads.generators import random_bagset_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_bagset_instance(
+        q_eq1(), base_facts_per_relation=3, repair_facts_per_relation=4,
+        budget=3, domain_size=3, seed=5,
+    )
+
+
+def test_bench_unified(benchmark, instance):
+    value = benchmark(maximize, q_eq1(), instance)
+    assert value >= 0
+
+
+def test_bench_brute_force(benchmark, instance):
+    value = benchmark.pedantic(
+        maximize_brute_force, args=(q_eq1(), instance), rounds=3, iterations=1
+    )
+    assert value >= 0
+
+
+def test_bench_greedy(benchmark, instance):
+    value = benchmark(maximize_greedy, q_eq1(), instance)
+    assert value >= 0
+
+
+def test_e5_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e5_bsm_vs_baselines, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,33 @@
+"""E6 — Theorem 5.16: #Sat runtime O((|Dx| + |Dn|) · |Dn|²)."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import _split_instance, run_e6_shapley_scaling
+from repro.problems.shapley import sat_counts
+from repro.query.families import star_query
+
+
+@pytest.mark.parametrize("endogenous", [8, 32])
+def test_bench_sat_counts_endogenous_sweep(benchmark, endogenous):
+    query = star_query(2)
+    instance = _split_instance(query, exogenous=40, endogenous=endogenous,
+                               seed=endogenous)
+    counts = benchmark(sat_counts, query, instance)
+    assert len(counts) == instance.endogenous_count + 1
+
+
+@pytest.mark.parametrize("exogenous", [100, 400])
+def test_bench_sat_counts_exogenous_sweep(benchmark, exogenous):
+    query = star_query(2)
+    instance = _split_instance(query, exogenous=exogenous, endogenous=12,
+                               seed=exogenous)
+    counts = benchmark(sat_counts, query, instance)
+    assert len(counts) == instance.endogenous_count + 1
+
+
+def test_e6_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e6_shapley_scaling, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

@@ -1,0 +1,52 @@
+"""E7 — Shapley: exact (#Sat) vs permutation definition vs Monte Carlo."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e7_shapley_vs_baselines
+from repro.problems.shapley import (
+    shapley_value,
+    shapley_value_by_permutations,
+    shapley_value_monte_carlo,
+)
+from repro.query.families import q_eq1
+from repro.workloads.generators import random_shapley_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return random_shapley_instance(
+        q_eq1(), facts_per_relation=2, domain_size=2,
+        endogenous_fraction=0.8, seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def fact(instance):
+    return list(instance.endogenous.facts())[0]
+
+
+def test_bench_shapley_exact(benchmark, instance, fact):
+    value = benchmark(shapley_value, q_eq1(), instance, fact)
+    assert 0 <= value <= 1
+
+
+def test_bench_shapley_permutations(benchmark, instance, fact):
+    value = benchmark.pedantic(
+        shapley_value_by_permutations, args=(q_eq1(), instance, fact),
+        rounds=3, iterations=1,
+    )
+    assert 0 <= value <= 1
+
+
+def test_bench_shapley_monte_carlo_1000(benchmark, instance, fact):
+    value = benchmark.pedantic(
+        shapley_value_monte_carlo, args=(q_eq1(), instance, fact, 1000),
+        rounds=3, iterations=1,
+    )
+    assert 0 <= value <= 1
+
+
+def test_e7_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e7_shapley_vs_baselines, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,38 @@
+"""E8 — Theorem 4.4: the BCBS → BSM reduction and its exponential cost."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e8_hardness
+from repro.hardness.bcbs import has_balanced_biclique
+from repro.hardness.reduction import decide_bsm_decision_smart, reduce_bcbs
+from repro.query.families import q_nh
+from repro.workloads.graphs import planted_biclique_graph
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_bench_reduction_construction(benchmark, k):
+    graph, _, _ = planted_biclique_graph(n=2 * k + 2, k=k, noise=0.3, seed=k)
+    output = benchmark(reduce_bcbs, q_nh(), graph, k)
+    assert output.target == k * k
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_bench_bsm_decision_via_reduction(benchmark, k):
+    graph, _, _ = planted_biclique_graph(n=2 * k + 2, k=k, noise=0.3, seed=k)
+    output = reduce_bcbs(q_nh(), graph, k)
+    answer = benchmark.pedantic(
+        decide_bsm_decision_smart, args=(output,), rounds=2, iterations=1
+    )
+    assert answer == has_balanced_biclique(graph, k)
+
+
+def test_bench_bcbs_direct(benchmark):
+    graph, _, _ = planted_biclique_graph(n=10, k=3, noise=0.3, seed=3)
+    found = benchmark(has_balanced_biclique, graph, 3)
+    assert found
+
+
+def test_e8_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_e8_hardness, rounds=1, iterations=1)
+    save_experiment(result, results_dir)

@@ -1,0 +1,34 @@
+"""E9 — ablation: bag-set vector truncation (the Theorem 5.11 lever)."""
+
+import pytest
+from conftest import save_experiment
+
+from repro.bench.experiments import run_e9_truncation_ablation
+from repro.problems.bagset_max import maximize_profile
+from repro.query.families import star_query
+from repro.workloads.generators import random_bagset_instance
+
+
+@pytest.fixture(scope="module")
+def workload():
+    query = star_query(2)
+    instance = random_bagset_instance(
+        query, base_facts_per_relation=150, repair_facts_per_relation=10,
+        budget=8, domain_size=60, seed=9,
+    )
+    return query, instance
+
+
+@pytest.mark.parametrize("multiplier", [1, 4])
+def test_bench_profile_at_length(benchmark, workload, multiplier):
+    query, instance = workload
+    length = (instance.budget + 1) * multiplier
+    profile = benchmark(maximize_profile, query, instance, length)
+    assert len(profile) == length
+
+
+def test_e9_table(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_e9_truncation_ablation, kwargs={"repeats": 1}, rounds=1, iterations=1
+    )
+    save_experiment(result, results_dir)

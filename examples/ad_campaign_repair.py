@@ -1,0 +1,98 @@
+"""Bag-set maximization as data repair: growing an ad campaign's reach.
+
+Scenario: a campaign database has ``Creative(C, B)`` (creative C exists for
+brand B... pinned to one brand here), ``Slot(C, P)`` (creative C is booked on
+placement P) and ``Audience(C, P, U)`` (user segment U sees creative C on
+placement P).  The number of (creative, placement, user-segment) impressions
+is the bag-set value of the hierarchical query
+
+    Reach() :- Creative(C, B) ∧ Slot(C, P) ∧ Audience(C, P, U)
+
+(the Eq. (1) query, relabeled).  Procurement offers a menu of extra facts
+(the repair database) — new creatives, new slot bookings, new audience
+buys — and a budget θ of contracts to sign.  Algorithm 1 with the
+Definition 5.9 2-monoid finds the reach-maximizing spend exactly; the script
+compares it against the greedy planner and exhaustive search.
+
+Usage::
+
+    python examples/ad_campaign_repair.py
+"""
+
+import random
+
+from repro import (
+    BagSetInstance,
+    Database,
+    count_satisfying_assignments,
+    maximize,
+    maximize_brute_force,
+    maximize_greedy,
+    maximize_profile,
+    parse_query,
+)
+from repro.db.fact import Fact
+
+
+def build_campaign(seed: int) -> tuple[Database, Database]:
+    """A small current campaign plus a procurement menu."""
+    rng = random.Random(seed)
+    creatives = [f"c{i}" for i in range(4)]
+    placements = [f"p{i}" for i in range(4)]
+    segments = [f"u{i}" for i in range(5)]
+    current: list[Fact] = [Fact("Creative", (creatives[0], "brand"))]
+    menu: list[Fact] = []
+    for creative in creatives[1:]:
+        menu.append(Fact("Creative", (creative, "brand")))
+    for creative in creatives:
+        for placement in rng.sample(placements, 2):
+            target = current if rng.random() < 0.3 else menu
+            target.append(Fact("Slot", (creative, placement)))
+            for segment in rng.sample(segments, rng.randint(1, 3)):
+                target = current if rng.random() < 0.3 else menu
+                target.append(Fact("Audience", (creative, placement, segment)))
+    return Database(current), Database(menu)
+
+
+def main() -> None:
+    query = parse_query(
+        "Reach() :- Creative(C, B), Slot(C, P), Audience(C, P, U)"
+    )
+    print(f"query: {query} (hierarchical — Eq. (1) relabeled)")
+    current, menu = build_campaign(seed=11)
+    print(f"current campaign: {len(current)} facts, "
+          f"procurement menu: {len(menu)} facts")
+    print(f"current reach: {count_satisfying_assignments(query, current)}")
+    print()
+
+    print("reach by contract budget (unified algorithm, one run):")
+    budget = 6
+    instance = BagSetInstance(current, menu, budget=budget)
+    profile = maximize_profile(query, instance)
+    print(f"{'θ':>3} | {'optimal reach':>13} | {'greedy reach':>12}")
+    for theta in range(budget + 1):
+        greedy = maximize_greedy(
+            query, BagSetInstance(current, menu, budget=theta)
+        )
+        print(f"{theta:>3} | {profile[theta]:>13} | {greedy:>12}")
+    print()
+
+    small = BagSetInstance(current, menu, budget=3)
+    exact = maximize(query, small)
+    brute = maximize_brute_force(query, small)
+    print(f"exhaustive check at θ=3: unified={exact}, brute force={brute}")
+    assert exact == brute
+    gaps = [
+        theta for theta in range(budget + 1)
+        if maximize_greedy(query, BagSetInstance(current, menu, theta))
+        < profile[theta]
+    ]
+    if gaps:
+        print(f"greedy is strictly suboptimal at budgets {gaps} — "
+              "conjunctive gains are not submodular")
+    else:
+        print("greedy happened to match the optimum on this instance")
+
+
+if __name__ == "__main__":
+    main()

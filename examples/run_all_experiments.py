@@ -1,0 +1,33 @@
+"""Regenerate every EXPERIMENTS.md table (E0–E11) in one run.
+
+Usage::
+
+    python examples/run_all_experiments.py            # all experiments
+    python examples/run_all_experiments.py E0 E5 E11  # a subset
+"""
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> None:
+    requested = argv or list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment id(s) {unknown}; "
+            f"available: {', '.join(ALL_EXPERIMENTS)}"
+        )
+    for name in requested:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"   ({elapsed:.2f}s)")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,99 @@
+"""Shapley values as answer explanations: which facts drive a query result?
+
+Scenario: a compliance team asks why the audit query
+
+    Flag() :- Account(A, O) ∧ Transfer(A, T) ∧ Detail(A, T, F)
+
+fires on a banking database.  Reference tables (``Account``) are exogenous —
+nobody disputes them — while the transaction facts (``Transfer``,
+``Detail``) are endogenous.  The Shapley value of each endogenous fact
+quantifies its responsibility for the flag (Definition 5.12); the unified
+algorithm computes it exactly via two #Sat vectors per fact (Theorem 5.16).
+
+The script prints the ranked attribution, verifies the Shapley axioms
+numerically, and shows Monte Carlo permutation sampling converging to the
+exact values.
+
+Usage::
+
+    python examples/shapley_explanations.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    Database,
+    ShapleyInstance,
+    evaluates_true,
+    parse_query,
+    sat_counts,
+    shapley_values,
+)
+from repro.problems.shapley import (
+    efficiency_gap,
+    shapley_value_monte_carlo,
+)
+
+
+def build_instance() -> ShapleyInstance:
+    accounts = Database.from_relations(
+        {"Account": [("acme", "owner1"), ("bolt", "owner2")]}
+    )
+    transactions = Database.from_relations(
+        {
+            "Transfer": [("acme", "t1"), ("acme", "t2"), ("bolt", "t9")],
+            "Detail": [
+                ("acme", "t1", "offshore"),
+                ("acme", "t2", "offshore"),
+                ("acme", "t2", "cash"),
+                # bolt's transfer has no matching detail: a null player.
+            ],
+        }
+    )
+    return ShapleyInstance(exogenous=accounts, endogenous=transactions)
+
+
+def main() -> None:
+    query = parse_query("Flag() :- Account(A, O), Transfer(A, T), Detail(A, T, F)")
+    instance = build_instance()
+    print(f"query: {query}")
+    print(f"exogenous facts: {len(instance.exogenous)}, "
+          f"endogenous facts: {instance.endogenous_count}")
+    full = instance.full_database()
+    print(f"query fires on the full database: {evaluates_true(query, full)}")
+    print()
+
+    counts = sat_counts(query, instance)
+    print(f"#Sat(k) for k = 0..{instance.endogenous_count}: {counts}")
+    print("(number of size-k endogenous subsets that make the flag fire)")
+    print()
+
+    values = shapley_values(query, instance)
+    print("responsibility ranking (exact Shapley values):")
+    for fact, value in sorted(values.items(), key=lambda kv: (-kv[1], repr(kv[0]))):
+        bar = "#" * int(40 * value) if value > 0 else ""
+        print(f"  {str(fact):<32} {str(value):>8}  {bar}")
+    print()
+
+    print("axiom checks:")
+    total = sum(values.values(), Fraction(0))
+    print(f"  efficiency: Σ Shapley = {total} "
+          f"(gap = {efficiency_gap(query, instance)})")
+    null_players = [f for f, v in values.items() if v == 0]
+    print(f"  null players (zero responsibility): "
+          f"{[str(f) for f in null_players]}")
+    print()
+
+    top_fact = max(values, key=lambda f: (values[f], repr(f)))
+    exact = float(values[top_fact])
+    print(f"Monte Carlo convergence for {top_fact} (exact = {exact:.5f}):")
+    for samples in (10, 100, 1000, 10000):
+        estimate = shapley_value_monte_carlo(
+            query, instance, top_fact, samples=samples, seed=0
+        )
+        print(f"  {samples:>6} samples → {estimate:.5f} "
+              f"(error {abs(estimate - exact):.5f})")
+
+
+if __name__ == "__main__":
+    main()

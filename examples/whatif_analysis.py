@@ -1,0 +1,117 @@
+"""What-if analysis on one database: four 2-monoids, one algorithm.
+
+The point of the paper is that Algorithm 1 is *generic*: change the 2-monoid
+and the fact annotations, and the same elimination plan answers a different
+question.  This example runs four analyses over a single supply-chain
+database for the hierarchical query
+
+    Supplied() :- Vendor(V, R') ∧ Contract(V, P) ∧ Shipment(V, P, W)
+
+("some vendor has a contract for a part and a shipment of it"):
+
+1. **Per-answer view** (free variable V, counting semiring): how many
+   (part, shipment) combinations each vendor contributes;
+2. **Fragility** (resilience 2-monoid): how many record deletions would
+   break supply entirely, and which records form a minimum cut;
+3. **Repair planning** (bag-set 2-monoid): the best way to spend a budget of
+   new records from a procurement menu — with the concrete optimal repair;
+4. **Attribution** (Shapley/#Sat 2-monoid): which existing records carry the
+   most responsibility for supply being up.
+
+Usage::
+
+    python examples/whatif_analysis.py
+"""
+
+from repro import Database, parse_query
+from repro.algebra.counting import CountingSemiring
+from repro.core.grouped import evaluate_grouped
+from repro.db.evaluation import count_satisfying_assignments
+from repro.problems.bagset_max import BagSetInstance, optimal_repair
+from repro.problems.resilience import (
+    ResilienceInstance,
+    contingency_set,
+    resilience,
+)
+from repro.problems.shapley import ShapleyInstance, shapley_values
+
+
+def build_database() -> Database:
+    return Database.from_relations(
+        {
+            "Vendor": [("acme", "east"), ("bolt", "west")],
+            "Contract": [("acme", "gear"), ("acme", "axle"), ("bolt", "gear")],
+            "Shipment": [
+                ("acme", "gear", "w1"),
+                ("acme", "gear", "w2"),
+                ("acme", "axle", "w1"),
+                ("bolt", "gear", "w3"),
+            ],
+        }
+    )
+
+
+def build_menu() -> Database:
+    return Database.from_relations(
+        {
+            "Contract": [("bolt", "axle")],
+            "Shipment": [
+                ("bolt", "axle", "w3"),
+                ("bolt", "gear", "w4"),
+                ("acme", "axle", "w2"),
+            ],
+        }
+    )
+
+
+def main() -> None:
+    query = parse_query(
+        "Supplied() :- Vendor(V, R), Contract(V, P), Shipment(V, P, W)"
+    )
+    database = build_database()
+    print(f"query: {query}")
+    print(f"database: {len(database)} facts; "
+          f"bag-set value Q(D) = {count_satisfying_assignments(query, database)}")
+    print()
+
+    print("1. per-vendor answer counts (free variable V, counting semiring):")
+    grouped = evaluate_grouped(
+        query, {"V"}, CountingSemiring(), database.facts(), lambda _f: 1
+    )
+    for values, count in sorted(grouped.items()):
+        print(f"   V = {values[0]!r}: {count} supported combinations")
+    print()
+
+    print("2. fragility (resilience 2-monoid):")
+    instance = ResilienceInstance.fully_endogenous(database)
+    value = resilience(query, instance)
+    cut = contingency_set(query, instance)
+    print(f"   resilience = {int(value)} deletions break all supply")
+    print(f"   a minimum cut: {sorted(str(f) for f in cut)}")
+    print()
+
+    print("3. repair planning (bag-set 2-monoid, budget 2):")
+    repair_instance = BagSetInstance(database, build_menu(), budget=2)
+    best, added = optimal_repair(query, repair_instance)
+    print(f"   best achievable bag-set value: {best}")
+    print("   sign these records:")
+    for fact in sorted(added, key=repr):
+        print(f"     + {fact}")
+    print()
+
+    print("4. attribution (Shapley values; Vendor records exogenous):")
+    shapley_instance = ShapleyInstance(
+        exogenous=database.restrict(["Vendor"]),
+        endogenous=database.restrict(["Contract", "Shipment"]),
+    )
+    values = shapley_values(query, shapley_instance)
+    ranked = sorted(values.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    for fact, value in ranked[:5]:
+        print(f"   {str(fact):<28} {value}")
+    print()
+    print("one elimination plan, four answers — the 2-monoid is the only "
+          "thing that changed.")
+
+
+if __name__ == "__main__":
+    main()

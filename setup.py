@@ -1,0 +1,13 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Unifying Algorithm for Hierarchical Queries' "
+        "(PODS 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

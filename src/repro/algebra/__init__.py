@@ -1,0 +1,88 @@
+"""2-monoids (Definition 5.6) and their problem-specific instantiations.
+
+The three problem 2-monoids (probability, bag-set, #Sat/Shapley) are *not*
+semirings — each violates distributivity — while the auxiliary structures
+(counting, Boolean, tropical, polynomial) are genuine semirings used for
+cross-checks.  The provenance 2-monoid is the universal one of Theorem 6.4.
+"""
+
+from repro.algebra.base import CommutativeSemiring, TwoMonoid
+from repro.algebra.bagset import BagSetMonoid, BagSetVector, is_monotone
+from repro.algebra.boolean import BooleanSemiring
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.laws import (
+    LawViolation,
+    check_two_monoid_laws,
+    find_annihilation_violation,
+    find_distributivity_violation,
+)
+from repro.algebra.polynomial import (
+    PolynomialSemiring,
+    constant,
+    monomial_supports,
+    variable,
+)
+from repro.algebra.probability import ExactProbabilityMonoid, ProbabilityMonoid
+from repro.algebra.real import Real, RealSemiring
+from repro.algebra.resilience import Cost, ResilienceMonoid
+from repro.algebra.provenance import (
+    FreeProvenanceMonoid,
+    NodeKind,
+    ProvenanceMonoid,
+    ProvTree,
+    conjoin,
+    disjoin,
+    evaluate_tree,
+    false_tree,
+    free_conjoin,
+    free_disjoin,
+    is_read_once,
+    leaf,
+    true_tree,
+    truth_value,
+)
+from repro.algebra.shapley import SatVector, ShapleyMonoid
+from repro.algebra.tropical import MaxPlusSemiring, MaxTimesSemiring, MinPlusSemiring
+
+__all__ = [
+    "BagSetMonoid",
+    "BagSetVector",
+    "BooleanSemiring",
+    "CommutativeSemiring",
+    "Cost",
+    "CountingSemiring",
+    "ExactProbabilityMonoid",
+    "FreeProvenanceMonoid",
+    "LawViolation",
+    "MaxPlusSemiring",
+    "MaxTimesSemiring",
+    "MinPlusSemiring",
+    "NodeKind",
+    "PolynomialSemiring",
+    "ProbabilityMonoid",
+    "ProvTree",
+    "ProvenanceMonoid",
+    "Real",
+    "RealSemiring",
+    "ResilienceMonoid",
+    "SatVector",
+    "ShapleyMonoid",
+    "TwoMonoid",
+    "check_two_monoid_laws",
+    "conjoin",
+    "constant",
+    "disjoin",
+    "evaluate_tree",
+    "false_tree",
+    "free_conjoin",
+    "free_disjoin",
+    "find_annihilation_violation",
+    "find_distributivity_violation",
+    "is_monotone",
+    "is_read_once",
+    "leaf",
+    "monomial_supports",
+    "true_tree",
+    "truth_value",
+    "variable",
+]

@@ -1,0 +1,142 @@
+"""The bag-set maximization 2-monoid (Definition 5.9).
+
+Elements are *monotone* vectors ``x ∈ N^N``: ``x(i)`` is the best multiplicity
+achievable with a repair budget of ``i``.  The operations are convolutions
+
+* ``(x ⊕ y)(i) = max_{i1+i2=i} x(i1) + y(i2)`` — (max, +) convolution, for
+  disjunctions of independently-repairable formulas (Eq. 10),
+* ``(x ⊗ y)(i) = max_{i1+i2=i} x(i1) · y(i2)`` — (max, ×) convolution, for
+  conjunctions (Eq. 11).
+
+Identities: 0 = the all-zeros vector, 1 = the all-ones vector.  ``⊗`` does not
+distribute over ``⊕`` (see the tests for a concrete triple), so this is a
+2-monoid, not a semiring.
+
+Vectors are truncated to ``length = θ + 1`` entries: the maximum useful budget
+is ``θ ≤ |Dr|``, and monotonicity makes entries beyond the truncation point
+redundant.  This truncation is exactly the lever that yields the
+``O((|D|+|Dr|)·|Dr|²)`` bound of Theorem 5.11, and is ablated by experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.base import TwoMonoid
+from repro.exceptions import AlgebraError
+
+BagSetVector = tuple[int, ...]
+"""A truncated monotone vector of naturals; index = repair budget."""
+
+
+def is_monotone(vector: Sequence[int]) -> bool:
+    """True when the vector is non-decreasing (the Definition 5.9 carrier)."""
+    return all(vector[i] <= vector[i + 1] for i in range(len(vector) - 1))
+
+
+class BagSetMonoid(TwoMonoid[BagSetVector]):
+    """The Definition 5.9 2-monoid with vectors truncated to a fixed length.
+
+    Parameters
+    ----------
+    length:
+        Number of stored entries (budget ``θ`` ⇒ ``length = θ + 1``).
+        Must be at least 1.
+    """
+
+    name = "bag-set maximization"
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise AlgebraError("BagSetMonoid needs at least one vector entry")
+        self._length = length
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def budget(self) -> int:
+        """The largest budget the truncated vectors can answer for."""
+        return self._length - 1
+
+    # ------------------------------------------------------------------
+    # Distinguished elements
+    # ------------------------------------------------------------------
+    @property
+    def zero(self) -> BagSetVector:
+        """All-zeros: a formula that cannot be made true at any budget."""
+        return (0,) * self._length
+
+    @property
+    def one(self) -> BagSetVector:
+        """All-ones: a fact already present in D (multiplicity 1 for free)."""
+        return (1,) * self._length
+
+    @property
+    def star(self) -> BagSetVector:
+        """``★ = (0, 1, 1, ...)``: a repair fact — multiplicity 1 at cost ≥ 1."""
+        if self._length == 1:
+            return (0,)
+        return (0,) + (1,) * (self._length - 1)
+
+    def constant(self, value: int) -> BagSetVector:
+        """A constant vector (useful in tests)."""
+        return (value,) * self._length
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def add(self, left: BagSetVector, right: BagSetVector) -> BagSetVector:
+        """(max, +) convolution — Eq. (10)."""
+        self._check(left)
+        self._check(right)
+        return tuple(
+            max(left[j] + right[i - j] for j in range(i + 1))
+            for i in range(self._length)
+        )
+
+    def mul(self, left: BagSetVector, right: BagSetVector) -> BagSetVector:
+        """(max, ×) convolution — Eq. (11)."""
+        self._check(left)
+        self._check(right)
+        return tuple(
+            max(left[j] * right[i - j] for j in range(i + 1))
+            for i in range(self._length)
+        )
+
+    @property
+    def annihilates(self) -> bool:
+        """(max, ×) convolution with all-zeros is all-zeros, so ⊗0 annihilates."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check(self, vector: BagSetVector) -> None:
+        if len(vector) != self._length:
+            raise AlgebraError(
+                f"vector of length {len(vector)} used in a "
+                f"BagSetMonoid of length {self._length}"
+            )
+
+    def validate(self, vector: Iterable[int]) -> BagSetVector:
+        """Check membership in the carrier: right length, naturals, monotone."""
+        vector = tuple(vector)
+        self._check(vector)
+        if any(entry < 0 for entry in vector):
+            raise AlgebraError(f"{vector} has negative entries")
+        if not is_monotone(vector):
+            raise AlgebraError(
+                f"{vector} is not monotone; Definition 5.9 restricts the "
+                "carrier to monotone vectors"
+            )
+        return vector
+
+    def truncate(self, vector: Sequence[int]) -> BagSetVector:
+        """Truncate or monotonically extend *vector* to this monoid's length."""
+        vector = tuple(vector)
+        if len(vector) >= self._length:
+            return vector[: self._length]
+        tail = vector[-1] if vector else 0
+        return vector + (tail,) * (self._length - len(vector))

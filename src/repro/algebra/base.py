@@ -1,0 +1,112 @@
+"""The 2-monoid abstraction (Definition 5.6).
+
+A 2-monoid ``K = (K, ⊕, ⊗)`` consists of two commutative monoids over the
+same carrier — ``(K, ⊕)`` with neutral element ``0`` and ``(K, ⊗)`` with
+neutral element ``1`` — satisfying the single interaction law ``0 ⊗ 0 = 0``.
+Unlike a commutative semiring, a 2-monoid need satisfy neither distributivity
+nor annihilation-by-zero; the paper shows this weakening is exactly what
+confines the unifying algorithm to hierarchical queries.
+
+Concrete instantiations live in sibling modules:
+
+* :mod:`repro.algebra.probability` — probabilistic query evaluation (Def. 5.7),
+* :mod:`repro.algebra.bagset` — bag-set maximization (Def. 5.9),
+* :mod:`repro.algebra.shapley` — ``#Sat`` vectors for Shapley values (Def. 5.14),
+* :mod:`repro.algebra.provenance` — the universal provenance 2-monoid (Def. 6.2),
+* plus genuine semirings (counting, Boolean, tropical, polynomial) used for
+  cross-checks and to exhibit the semiring/2-monoid gap.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Iterable, TypeVar
+
+K = TypeVar("K")
+
+
+class TwoMonoid(ABC, Generic[K]):
+    """Abstract base for 2-monoids (Definition 5.6).
+
+    Subclasses provide :attr:`zero`, :attr:`one`, :meth:`add` (⊕) and
+    :meth:`mul` (⊗).  Equality of elements defaults to ``==`` and can be
+    overridden (e.g. for float-valued probabilities in tests).
+    """
+
+    #: Human-readable name used in reports and error messages.
+    name: str = "2-monoid"
+
+    @property
+    @abstractmethod
+    def zero(self) -> K:
+        """The neutral element of ⊕ (written 0 in the paper)."""
+
+    @property
+    @abstractmethod
+    def one(self) -> K:
+        """The neutral element of ⊗ (written 1 in the paper)."""
+
+    @abstractmethod
+    def add(self, left: K, right: K) -> K:
+        """The ⊕ operation."""
+
+    @abstractmethod
+    def mul(self, left: K, right: K) -> K:
+        """The ⊗ operation."""
+
+    def eq(self, left: K, right: K) -> bool:
+        """Element equality (override for approximate carriers)."""
+        return left == right
+
+    # ------------------------------------------------------------------
+    # Folds (the algorithm aggregates with these)
+    # ------------------------------------------------------------------
+    def add_fold(self, items: Iterable[K]) -> K:
+        """⊕-fold of *items*; the empty fold is :attr:`zero`."""
+        result = self.zero
+        for item in items:
+            result = self.add(result, item)
+        return result
+
+    def mul_fold(self, items: Iterable[K]) -> K:
+        """⊗-fold of *items*; the empty fold is :attr:`one`."""
+        result = self.one
+        for item in items:
+            result = self.mul(result, item)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_zero(self, item: K) -> bool:
+        """True when *item* equals the ⊕-identity."""
+        return self.eq(item, self.zero)
+
+    @property
+    def annihilates(self) -> bool:
+        """Whether ``a ⊗ 0 = 0`` holds for all ``a`` (semiring property).
+
+        2-monoids only guarantee ``0 ⊗ 0 = 0``.  Subclasses for which full
+        annihilation *does* hold may override this to True, enabling a
+        support-pruning optimization in the annotated-relation join; the
+        Shapley 2-monoid must leave it False.
+        """
+        return False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CommutativeSemiring(TwoMonoid[K]):
+    """Marker base for 2-monoids that are genuine commutative semirings.
+
+    These satisfy distributivity and annihilation-by-zero on top of the
+    2-monoid laws.  None of the paper's three problem instantiations is a
+    semiring; these exist for engine cross-checks (e.g. counting the bag-set
+    value of a query via the counting semiring) and for the law-census
+    experiment E11.
+    """
+
+    @property
+    def annihilates(self) -> bool:
+        return True

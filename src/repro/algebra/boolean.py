@@ -1,0 +1,30 @@
+"""The Boolean semiring ``({false, true}, ∨, ∧)``.
+
+A genuine semiring: Algorithm 1 instantiated with it computes plain Boolean
+query evaluation ``D ⊨ Q`` for hierarchical queries, cross-checked against
+the backtracking evaluator.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.base import CommutativeSemiring
+
+
+class BooleanSemiring(CommutativeSemiring[bool]):
+    """Booleans under ``(∨, ∧)``."""
+
+    name = "boolean"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def mul(self, left: bool, right: bool) -> bool:
+        return left and right

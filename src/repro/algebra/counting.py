@@ -1,0 +1,39 @@
+"""The counting semiring ``(N, +, ×)`` — a genuine commutative semiring.
+
+Not one of the paper's instantiations: it satisfies distributivity, so
+evaluating with it through *any* join plan (not only hierarchical
+eliminations) is sound.  The library uses it to cross-check the annotated
+engine: running Algorithm 1 on a hierarchical query with every present fact
+annotated 1 yields exactly ``Q(D)`` under bag-set semantics, which must agree
+with the backtracking evaluator of :mod:`repro.db.evaluation`.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.base import CommutativeSemiring
+from repro.exceptions import AlgebraError
+
+
+class CountingSemiring(CommutativeSemiring[int]):
+    """Natural numbers under ``(+, ×)``."""
+
+    name = "counting (N, +, ×)"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, left: int, right: int) -> int:
+        return left + right
+
+    def mul(self, left: int, right: int) -> int:
+        return left * right
+
+    def validate(self, value: int) -> int:
+        if not isinstance(value, int) or value < 0:
+            raise AlgebraError(f"{value!r} is not a natural number")
+        return value

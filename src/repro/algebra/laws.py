@@ -1,0 +1,105 @@
+"""Law checking for 2-monoids and semirings.
+
+Used by the property-test suite (with hypothesis-generated samples) and by
+experiment E11, which verifies on random elements that each of the paper's
+three instantiations satisfies every Definition 5.6 axiom while *violating*
+distributivity — the structural reason the unifying algorithm stops at
+hierarchical queries (Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.algebra.base import K, TwoMonoid
+
+
+@dataclass(frozen=True)
+class LawViolation:
+    """One concrete counterexample to a named algebraic law."""
+
+    law: str
+    elements: tuple
+
+    def __str__(self) -> str:
+        return f"{self.law} violated at {self.elements}"
+
+
+def check_two_monoid_laws(
+    monoid: TwoMonoid[K], samples: Sequence[K], max_triples: int = 200
+) -> list[LawViolation]:
+    """Check every Definition 5.6 axiom of *monoid* on the given *samples*.
+
+    Checks: commutativity and associativity of both ⊕ and ⊗, the identity
+    laws for 0 and 1, and ``0 ⊗ 0 = 0``.  Returns all violations found (empty
+    list = laws hold on the samples).
+    """
+    violations: list[LawViolation] = []
+    zero, one = monoid.zero, monoid.one
+
+    if not monoid.eq(monoid.mul(zero, zero), zero):
+        violations.append(LawViolation("0 ⊗ 0 = 0", (zero,)))
+
+    for a in samples:
+        if not monoid.eq(monoid.add(a, zero), a):
+            violations.append(LawViolation("a ⊕ 0 = a", (a,)))
+        if not monoid.eq(monoid.mul(a, one), a):
+            violations.append(LawViolation("a ⊗ 1 = a", (a,)))
+
+    for a, b in product(samples, repeat=2):
+        if not monoid.eq(monoid.add(a, b), monoid.add(b, a)):
+            violations.append(LawViolation("⊕ commutativity", (a, b)))
+        if not monoid.eq(monoid.mul(a, b), monoid.mul(b, a)):
+            violations.append(LawViolation("⊗ commutativity", (a, b)))
+
+    count = 0
+    for a, b, c in product(samples, repeat=3):
+        if count >= max_triples:
+            break
+        count += 1
+        left = monoid.add(monoid.add(a, b), c)
+        right = monoid.add(a, monoid.add(b, c))
+        if not monoid.eq(left, right):
+            violations.append(LawViolation("⊕ associativity", (a, b, c)))
+        left = monoid.mul(monoid.mul(a, b), c)
+        right = monoid.mul(a, monoid.mul(b, c))
+        if not monoid.eq(left, right):
+            violations.append(LawViolation("⊗ associativity", (a, b, c)))
+    return violations
+
+
+def find_distributivity_violation(
+    monoid: TwoMonoid[K], samples: Sequence[K], max_triples: int = 500
+) -> tuple[K, K, K] | None:
+    """Find ``(a, b, c)`` with ``a ⊗ (b ⊕ c) ≠ (a ⊗ b) ⊕ (a ⊗ c)``, if any.
+
+    Each of the paper's three problem 2-monoids admits such a triple; the
+    genuine semirings in this package do not.
+    """
+    count = 0
+    for a, b, c in product(samples, repeat=3):
+        if count >= max_triples:
+            return None
+        count += 1
+        left = monoid.mul(a, monoid.add(b, c))
+        right = monoid.add(monoid.mul(a, b), monoid.mul(a, c))
+        if not monoid.eq(left, right):
+            return (a, b, c)
+    return None
+
+
+def find_annihilation_violation(
+    monoid: TwoMonoid[K], samples: Sequence[K]
+) -> K | None:
+    """Find ``a`` with ``a ⊗ 0 ≠ 0``, if any.
+
+    The Shapley 2-monoid (Definition 5.14) has such elements; this is why the
+    annotated-relation join must not prune tuples present on one side only.
+    """
+    zero = monoid.zero
+    for a in samples:
+        if not monoid.eq(monoid.mul(a, zero), zero):
+            return a
+    return None

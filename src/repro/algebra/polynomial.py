@@ -1,0 +1,98 @@
+"""Provenance polynomials ``N[X]`` — the most general commutative semiring.
+
+Elements are polynomials with natural coefficients over fact symbols
+(Green–Karvounarakis–Tannen why-provenance).  Annotating every fact of a
+hierarchical query with its own indeterminate and running Algorithm 1 yields
+the polynomial whose monomials are exactly the satisfying assignments'
+fact sets; tests use this to cross-check both the engine and the
+provenance-tree path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Mapping
+
+from repro.algebra.base import CommutativeSemiring
+
+Symbol = Hashable
+Monomial = tuple[tuple[Symbol, int], ...]
+"""A monomial as a sorted tuple of (symbol, exponent) pairs."""
+Polynomial = frozenset[tuple[Monomial, int]]
+"""A polynomial as a frozenset of (monomial, coefficient) pairs."""
+
+
+def variable(symbol: Symbol) -> Polynomial:
+    """The polynomial consisting of the single indeterminate *symbol*."""
+    monomial: Monomial = ((symbol, 1),)
+    return frozenset({(monomial, 1)})
+
+
+def constant(value: int) -> Polynomial:
+    """A constant polynomial."""
+    if value == 0:
+        return frozenset()
+    return frozenset({((), value)})
+
+
+def _as_dict(polynomial: Polynomial) -> dict[Monomial, int]:
+    return dict(polynomial)
+
+
+def _normalize(coefficients: Mapping[Monomial, int]) -> Polynomial:
+    return frozenset(
+        (monomial, coefficient)
+        for monomial, coefficient in coefficients.items()
+        if coefficient
+    )
+
+
+def _multiply_monomials(left: Monomial, right: Monomial) -> Monomial:
+    merged: Counter[Symbol] = Counter(dict(left))
+    for symbol, exponent in right:
+        merged[symbol] += exponent
+    return tuple(sorted(merged.items(), key=lambda item: repr(item[0])))
+
+
+class PolynomialSemiring(CommutativeSemiring[Polynomial]):
+    """``N[X]`` under polynomial addition and multiplication."""
+
+    name = "provenance polynomials N[X]"
+
+    @property
+    def zero(self) -> Polynomial:
+        return constant(0)
+
+    @property
+    def one(self) -> Polynomial:
+        return constant(1)
+
+    def add(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        coefficients = _as_dict(left)
+        for monomial, coefficient in right:
+            coefficients[monomial] = coefficients.get(monomial, 0) + coefficient
+        return _normalize(coefficients)
+
+    def mul(self, left: Polynomial, right: Polynomial) -> Polynomial:
+        coefficients: dict[Monomial, int] = {}
+        for left_monomial, left_coefficient in left:
+            for right_monomial, right_coefficient in right:
+                monomial = _multiply_monomials(left_monomial, right_monomial)
+                coefficients[monomial] = (
+                    coefficients.get(monomial, 0)
+                    + left_coefficient * right_coefficient
+                )
+        return _normalize(coefficients)
+
+
+def monomial_supports(polynomial: Polynomial) -> set[frozenset[Symbol]]:
+    """The sets of symbols appearing in each monomial (ignoring exponents)."""
+    return {
+        frozenset(symbol for symbol, _ in monomial)
+        for monomial, _ in polynomial
+    }
+
+
+def total_degree_one_count(polynomial: Polynomial) -> int:
+    """Sum of coefficients — for idempotent-free annotations, ``Q(D)``."""
+    return sum(coefficient for _, coefficient in polynomial)

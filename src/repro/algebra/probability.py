@@ -1,0 +1,92 @@
+"""The probability 2-monoid (Definition 5.7).
+
+The carrier is the probability interval ``[0, 1]`` with
+
+* ``p1 ⊗ p2 = p1 · p2`` — probability of the conjunction of independent events,
+* ``p1 ⊕ p2 = 1 − (1 − p1)(1 − p2)`` — probability of their disjunction.
+
+``⊗`` does *not* distribute over ``⊕`` (e.g. ``p ⊗ (q ⊕ q) ≠ (p⊗q) ⊕ (p⊗q)``),
+so this is a 2-monoid and not a semiring.  Instantiating Algorithm 1 with it
+recovers the Dalvi–Suciu safe-plan algorithm for hierarchical SJF-BCQs on
+tuple-independent probabilistic databases (Theorem 5.8).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+
+from repro.algebra.base import TwoMonoid
+from repro.exceptions import AlgebraError
+
+Probability = float | Fraction
+
+
+class ProbabilityMonoid(TwoMonoid[Probability]):
+    """Float-valued probability 2-monoid with tolerance-based equality."""
+
+    name = "probability"
+
+    def __init__(self, tolerance: float = 1e-12):
+        self._tolerance = tolerance
+
+    @property
+    def zero(self) -> Probability:
+        return 0.0
+
+    @property
+    def one(self) -> Probability:
+        return 1.0
+
+    def add(self, left: Probability, right: Probability) -> Probability:
+        return left + right - left * right
+
+    def mul(self, left: Probability, right: Probability) -> Probability:
+        return left * right
+
+    def eq(self, left: Probability, right: Probability) -> bool:
+        return abs(left - right) <= self._tolerance
+
+    @property
+    def annihilates(self) -> bool:
+        return True
+
+    def validate(self, value: Probability) -> Probability:
+        """Check that *value* is a probability in ``[0, 1]``."""
+        if not 0 <= value <= 1:
+            raise AlgebraError(f"{value!r} is not a probability in [0, 1]")
+        return value
+
+
+class ExactProbabilityMonoid(ProbabilityMonoid):
+    """Probability 2-monoid over exact rationals (:class:`fractions.Fraction`).
+
+    Used by tests to compare the unified algorithm against brute-force
+    possible-world enumeration with zero rounding error.
+    """
+
+    name = "probability (exact)"
+
+    def __init__(self) -> None:
+        super().__init__(tolerance=0.0)
+
+    @property
+    def zero(self) -> Fraction:
+        return Fraction(0)
+
+    @property
+    def one(self) -> Fraction:
+        return Fraction(1)
+
+    def eq(self, left: Probability, right: Probability) -> bool:
+        return left == right
+
+    def validate(self, value: Probability) -> Fraction:
+        if not isinstance(value, Rational):
+            raise AlgebraError(
+                f"exact probabilities must be rational, got {type(value).__name__}"
+            )
+        fraction = Fraction(value)
+        if not 0 <= fraction <= 1:
+            raise AlgebraError(f"{value!r} is not a probability in [0, 1]")
+        return fraction

@@ -1,0 +1,349 @@
+"""Provenance trees and the universal provenance 2-monoid (Defs. 6.1, 6.2).
+
+A provenance tree is a rooted tree whose leaves carry symbols (fact
+identifiers) or the constants ``true``/``false``, and whose internal nodes
+are labeled ∧ or ∨.  Children are unordered (⊕/⊗ commutativity) and a child
+sharing its parent's label is merged into the parent (associativity); we
+additionally apply the footnote-8 constant simplifications (drop ``true``
+under ∧, collapse ∨ to ``true`` when it contains ``true``, dually for
+``false``) so that the identity laws hold on the nose.
+
+The provenance 2-monoid is *universal* (Theorem 6.4): running Algorithm 1
+with it and then mapping the resulting tree through a structure-respecting
+function φ gives the same answer as running Algorithm 1 directly in the
+target 2-monoid — provided the trees are decomposable with disjoint supports,
+which Lemma 6.3 guarantees for hierarchical queries.  :func:`evaluate_tree`
+implements the φ side, giving the test suite an independent evaluation path
+for every problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from functools import cached_property
+from typing import Callable, Hashable, TypeVar
+
+from repro.algebra.base import TwoMonoid
+from repro.exceptions import AlgebraError
+
+Symbol = Hashable
+K = TypeVar("K")
+
+
+class NodeKind(Enum):
+    """The label of a provenance-tree node."""
+
+    LEAF = "leaf"
+    AND = "∧"
+    OR = "∨"
+
+
+_TRUE_SENTINEL = ("__prov_true__",)
+_FALSE_SENTINEL = ("__prov_false__",)
+
+
+@dataclass(frozen=True)
+class ProvTree:
+    """An immutable, canonicalized provenance tree.
+
+    Use the module-level constructors :func:`leaf`, :func:`true_tree`,
+    :func:`false_tree`, :func:`disjoin` and :func:`conjoin` instead of calling
+    the dataclass directly; they maintain the canonical form.
+    """
+
+    kind: NodeKind
+    symbol: Symbol | None = None
+    children: tuple["ProvTree", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return self.kind is NodeKind.LEAF and self.symbol == _TRUE_SENTINEL
+
+    @property
+    def is_false(self) -> bool:
+        return self.kind is NodeKind.LEAF and self.symbol == _FALSE_SENTINEL
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @cached_property
+    def support(self) -> frozenset[Symbol]:
+        """All leaf symbols, excluding the ``true``/``false`` constants (Def. 6.1)."""
+        if self.kind is NodeKind.LEAF:
+            if self.is_true or self.is_false:
+                return frozenset()
+            return frozenset({self.symbol})
+        return frozenset(s for child in self.children for s in child.support)
+
+    @cached_property
+    def leaf_count(self) -> int:
+        if self.kind is NodeKind.LEAF:
+            return 0 if (self.is_true or self.is_false) else 1
+        return sum(child.leaf_count for child in self.children)
+
+    @property
+    def is_decomposable(self) -> bool:
+        """True when all leaf symbols are distinct (Definition 6.1).
+
+        In canonical form the constants never appear below the root, so only
+        symbol distinctness needs checking.
+        """
+        return len(self.support) == self.leaf_count
+
+    def _sort_key(self) -> tuple:
+        if self.kind is NodeKind.LEAF:
+            return (0, repr(self.symbol))
+        return (
+            1 if self.kind is NodeKind.AND else 2,
+            tuple(child._sort_key() for child in self.children),
+        )
+
+    def __str__(self) -> str:
+        if self.is_true:
+            return "true"
+        if self.is_false:
+            return "false"
+        if self.kind is NodeKind.LEAF:
+            return str(self.symbol)
+        joiner = " ∧ " if self.kind is NodeKind.AND else " ∨ "
+        return "(" + joiner.join(str(child) for child in self.children) + ")"
+
+
+def leaf(symbol: Symbol) -> ProvTree:
+    """A single-leaf tree carrying *symbol* (typically a fact)."""
+    if symbol in (_TRUE_SENTINEL, _FALSE_SENTINEL):
+        raise AlgebraError("reserved sentinel symbols cannot be used as leaves")
+    return ProvTree(NodeKind.LEAF, symbol=symbol)
+
+
+def true_tree() -> ProvTree:
+    """The constant ``true`` tree — the ⊗-identity of the provenance 2-monoid."""
+    return ProvTree(NodeKind.LEAF, symbol=_TRUE_SENTINEL)
+
+
+def false_tree() -> ProvTree:
+    """The constant ``false`` tree — the ⊕-identity of the provenance 2-monoid."""
+    return ProvTree(NodeKind.LEAF, symbol=_FALSE_SENTINEL)
+
+
+def _combine(
+    kind: NodeKind,
+    left: ProvTree,
+    right: ProvTree,
+    absorbing: Callable[[ProvTree], bool],
+    neutral: Callable[[ProvTree], bool],
+    empty: ProvTree,
+) -> ProvTree:
+    """Shared canonicalizing constructor for ∧/∨ nodes."""
+    if absorbing(left) or absorbing(right):
+        # false under ∧ / true under ∨ absorbs the whole node (footnote 8).
+        return empty_opposite(kind)
+    children: list[ProvTree] = []
+    for operand in (left, right):
+        if neutral(operand):
+            continue
+        if operand.kind is kind:
+            children.extend(operand.children)
+        else:
+            children.append(operand)
+    if not children:
+        return empty
+    if len(children) == 1:
+        return children[0]
+    children.sort(key=ProvTree._sort_key)
+    return ProvTree(kind, children=tuple(children))
+
+
+def empty_opposite(kind: NodeKind) -> ProvTree:
+    """The absorbing constant of a node kind: false for ∧, true for ∨."""
+    return false_tree() if kind is NodeKind.AND else true_tree()
+
+
+def disjoin(left: ProvTree, right: ProvTree) -> ProvTree:
+    """``left ⊕ right``: a ∨-node (canonicalized)."""
+    return _combine(
+        NodeKind.OR,
+        left,
+        right,
+        absorbing=lambda t: t.is_true,
+        neutral=lambda t: t.is_false,
+        empty=false_tree(),
+    )
+
+
+def conjoin(left: ProvTree, right: ProvTree) -> ProvTree:
+    """``left ⊗ right``: a ∧-node (canonicalized)."""
+    return _combine(
+        NodeKind.AND,
+        left,
+        right,
+        absorbing=lambda t: t.is_false,
+        neutral=lambda t: t.is_true,
+        empty=true_tree(),
+    )
+
+
+def _combine_free(
+    kind: NodeKind,
+    left: ProvTree,
+    right: ProvTree,
+    neutral: Callable[[ProvTree], bool],
+    empty: ProvTree,
+    dedupe_constant: Callable[[ProvTree], bool] | None,
+) -> ProvTree:
+    """Constructor for the *free* provenance 2-monoid: no absorbing rules.
+
+    Only the simplifications *forced by the 2-monoid axioms* are applied:
+
+    * neutral constants are dropped (the identity laws), and
+    * multiple ``false`` children of an ∧-node collapse to one (the axiom
+      ``0 ⊗ 0 = 0``; no dual rule exists for ``true`` under ∨, since
+      ``1 ⊕ 1 ≠ 1`` in e.g. the counting semiring).
+
+    In particular ``a ∧ false`` is *kept* — which is what makes the free
+    monoid φ-compatible with non-annihilating targets like the Shapley
+    2-monoid, where ``a ⊗ 0 ≠ 0``.
+    """
+    children: list[ProvTree] = []
+    seen_constant = False
+    for operand in (left, right):
+        if neutral(operand):
+            continue
+        parts = operand.children if operand.kind is kind else (operand,)
+        for part in parts:
+            if dedupe_constant is not None and dedupe_constant(part):
+                if seen_constant:
+                    continue
+                seen_constant = True
+            children.append(part)
+    if not children:
+        return empty
+    if len(children) == 1:
+        return children[0]
+    children.sort(key=ProvTree._sort_key)
+    return ProvTree(kind, children=tuple(children))
+
+
+def free_disjoin(left: ProvTree, right: ProvTree) -> ProvTree:
+    """``left ⊕ right`` in the free provenance 2-monoid."""
+    return _combine_free(
+        NodeKind.OR, left, right,
+        neutral=lambda t: t.is_false,
+        empty=false_tree(),
+        dedupe_constant=None,
+    )
+
+
+def free_conjoin(left: ProvTree, right: ProvTree) -> ProvTree:
+    """``left ⊗ right`` in the free provenance 2-monoid."""
+    return _combine_free(
+        NodeKind.AND, left, right,
+        neutral=lambda t: t.is_true,
+        empty=true_tree(),
+        dedupe_constant=lambda t: t.is_false,
+    )
+
+
+class ProvenanceMonoid(TwoMonoid[ProvTree]):
+    """The provenance 2-monoid of Definition 6.2 (the universal 2-monoid)."""
+
+    name = "provenance trees"
+
+    @property
+    def zero(self) -> ProvTree:
+        return false_tree()
+
+    @property
+    def one(self) -> ProvTree:
+        return true_tree()
+
+    def add(self, left: ProvTree, right: ProvTree) -> ProvTree:
+        return disjoin(left, right)
+
+    def mul(self, left: ProvTree, right: ProvTree) -> ProvTree:
+        return conjoin(left, right)
+
+    @property
+    def annihilates(self) -> bool:
+        """∧ with ``false`` collapses to ``false`` under canonicalization."""
+        return True
+
+
+class FreeProvenanceMonoid(TwoMonoid[ProvTree]):
+    """The *free* provenance 2-monoid: no absorbing simplifications.
+
+    This is the universal object of Theorem 6.4 in full generality: φ-mapping
+    its output reproduces the direct run in **any** 2-monoid — including the
+    non-annihilating Shapley structure, for which the canonicalized
+    :class:`ProvenanceMonoid` is only universal up to support padding
+    (because dropping ``a ∧ false`` loses the size contribution of ``a``'s
+    facts).  The footnote-8 constant eliminations the paper mentions are
+    valid for the three standard semantics but not forced by the axioms;
+    keeping the constants is what this class does.
+    """
+
+    name = "provenance trees (free)"
+
+    @property
+    def zero(self) -> ProvTree:
+        return false_tree()
+
+    @property
+    def one(self) -> ProvTree:
+        return true_tree()
+
+    def add(self, left: ProvTree, right: ProvTree) -> ProvTree:
+        return free_disjoin(left, right)
+
+    def mul(self, left: ProvTree, right: ProvTree) -> ProvTree:
+        return free_conjoin(left, right)
+
+    @property
+    def annihilates(self) -> bool:
+        """``a ∧ false`` is kept, so ⊗-by-zero does not annihilate here."""
+        return False
+
+
+def evaluate_tree(
+    tree: ProvTree,
+    monoid: TwoMonoid[K],
+    leaf_value: Callable[[Symbol], K],
+) -> K:
+    """Map a provenance tree into *monoid* — the φ of Theorem 6.4.
+
+    For decomposable trees with the leaf annotations used by Algorithm 1 this
+    equals the algorithm's direct output in *monoid*; the test suite checks
+    that equality for all three problem instantiations.
+    """
+    if tree.is_true:
+        return monoid.one
+    if tree.is_false:
+        return monoid.zero
+    if tree.kind is NodeKind.LEAF:
+        return leaf_value(tree.symbol)
+    values = (evaluate_tree(child, monoid, leaf_value) for child in tree.children)
+    if tree.kind is NodeKind.AND:
+        return monoid.mul_fold(values)
+    return monoid.add_fold(values)
+
+
+def truth_value(tree: ProvTree, true_symbols: frozenset[Symbol] | set[Symbol]) -> bool:
+    """Evaluate the Boolean formula of *tree* with the given symbols set true."""
+    if tree.is_true:
+        return True
+    if tree.is_false:
+        return False
+    if tree.kind is NodeKind.LEAF:
+        return tree.symbol in true_symbols
+    if tree.kind is NodeKind.AND:
+        return all(truth_value(child, true_symbols) for child in tree.children)
+    return any(truth_value(child, true_symbols) for child in tree.children)
+
+
+def is_read_once(tree: ProvTree) -> bool:
+    """A decomposable tree is a read-once form of its Boolean formula."""
+    return tree.is_decomposable

@@ -1,0 +1,52 @@
+"""The non-negative real semiring ``(R≥0, +, ×)``.
+
+A genuine commutative semiring used by the *expected answer count*
+instantiation (:mod:`repro.problems.expected_count`): annotating each fact
+with its marginal probability and evaluating with ``(+, ×)`` computes
+``E[Q(D)]`` — the expected number of satisfying assignments over possible
+worlds — by linearity of expectation and tuple independence.
+
+Because this structure *does* distribute, the computation is sound for every
+acyclic query, not just hierarchical ones; the library exposes it through the
+hierarchical engine and uses it in tests/benches to dramatize the
+semiring-vs-2-monoid boundary: the same fact annotations under the
+(non-distributive) Definition 5.7 2-monoid give ``P[Q]``, which is hard for
+``q_nh``, while ``E[Q(D)]`` stays easy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra.base import CommutativeSemiring
+from repro.exceptions import AlgebraError
+
+Real = float | Fraction
+
+
+class RealSemiring(CommutativeSemiring[Real]):
+    """Non-negative reals (or exact rationals) under ``(+, ×)``."""
+
+    name = "reals (R≥0, +, ×)"
+
+    def __init__(self, exact: bool = False):
+        self._exact = exact
+
+    @property
+    def zero(self) -> Real:
+        return Fraction(0) if self._exact else 0.0
+
+    @property
+    def one(self) -> Real:
+        return Fraction(1) if self._exact else 1.0
+
+    def add(self, left: Real, right: Real) -> Real:
+        return left + right
+
+    def mul(self, left: Real, right: Real) -> Real:
+        return left * right
+
+    def validate(self, value: Real) -> Real:
+        if value < 0:
+            raise AlgebraError(f"{value!r} is negative")
+        return value

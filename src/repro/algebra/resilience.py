@@ -1,0 +1,79 @@
+"""A resilience 2-monoid — a new instantiation answering Question 2.
+
+The paper's concluding remarks (Question 2) ask which other problems the
+unifying algorithm captures.  *Resilience* — the minimum number of
+(endogenous) facts whose deletion makes a true query false [Freire et al.,
+PVLDB 2015] — turns out to fit: annotate each fact with the cost of
+falsifying it and evaluate in the structure
+
+    K = (N ∪ {∞},  ⊕ = +,  ⊗ = min),
+
+because falsifying a disjunction of independent formulas requires falsifying
+*both* sides (costs add), while falsifying a conjunction requires falsifying
+*either* side (take the cheaper).  Identities: 0 = 0 (an already-false
+formula costs nothing) and 1 = ∞ (a tautology cannot be falsified);
+``0 ⊗ 0 = min(0, 0) = 0`` holds.
+
+This is again **not** a semiring — ``min(a, b + c) ≠ min(a, b) + min(a, c)``
+in general (take a = b = c = 1) — so the same structural story as the
+paper's three instantiations applies: Algorithm 1 computes resilience of
+hierarchical SJF-BCQs in ``O(|D|)``, and correctness follows from
+Theorem 6.4 with φ(tree) = "min-cost falsifying deletion set of the tree's
+formula", which is ⊕/⊗-compatible on decomposable trees with disjoint
+supports.
+
+Note this structure is the tropical ``(min, +)`` algebra with the *roles of
+the operations swapped* relative to :class:`~repro.algebra.tropical.
+MinPlusSemiring`: there ``⊕ = min`` distributes; here ``⊕ = +`` does not.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.base import TwoMonoid
+from repro.exceptions import AlgebraError
+
+Cost = float
+"""Falsification costs: naturals extended with ``math.inf``."""
+
+
+class ResilienceMonoid(TwoMonoid[Cost]):
+    """``(N ∪ {∞}, +, min)`` — min-cost falsification."""
+
+    name = "resilience (N ∪ {∞}, +, min)"
+
+    @property
+    def zero(self) -> Cost:
+        """An absent/false fact: already false, zero deletion cost."""
+        return 0
+
+    @property
+    def one(self) -> Cost:
+        """An undeletable (exogenous) fact: infinite falsification cost."""
+        return math.inf
+
+    @property
+    def unit_cost(self) -> Cost:
+        """An endogenous fact: falsified by one deletion."""
+        return 1
+
+    def add(self, left: Cost, right: Cost) -> Cost:
+        """Falsify a disjunction: both sides must fall."""
+        return left + right
+
+    def mul(self, left: Cost, right: Cost) -> Cost:
+        """Falsify a conjunction: the cheaper side suffices."""
+        return min(left, right)
+
+    @property
+    def annihilates(self) -> bool:
+        """``min(a, 0) = 0`` for costs a ≥ 0, so ⊗-by-zero annihilates."""
+        return True
+
+    def validate(self, value: Cost) -> Cost:
+        if value != math.inf and (value < 0 or value != int(value)):
+            raise AlgebraError(
+                f"{value!r} is not a natural falsification cost (or ∞)"
+            )
+        return value

@@ -1,0 +1,180 @@
+"""The ``#Sat`` 2-monoid for Shapley value computation (Definition 5.14).
+
+Elements are vectors over ``N × B``: ``x(i, b)`` counts the size-``i`` subsets
+of the endogenous facts under a formula that make it evaluate to ``b``.  We
+store an element as a pair of integer tuples (the ``b = false`` and
+``b = true`` slices), truncated at ``length = |Dn| + 1`` entries.
+
+The operations (Eqs. 15 and 16) are convolutions over the budget index
+combined with the Boolean operation on the flag:
+
+* ⊕ pairs flags with ∨:  ``zF = xF*yF``;  ``zT = xF*yT + xT*yF + xT*yT``
+* ⊗ pairs flags with ∧:  ``zT = xT*yT``;  ``zF = xF*yF + xF*yT + xT*yF``
+
+where ``*`` is ordinary (+, ×) truncated convolution over exact Python ints.
+
+This 2-monoid famously does **not** satisfy annihilation-by-zero:
+``a ⊗ 0 ≠ 0`` in general (the paper highlights this right after
+Definition 5.14).  Consequently the annotated-relation join in
+:mod:`repro.db.annotated` must evaluate tuples present on *either* side of a
+Rule 2 merge, not only on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algebra.base import TwoMonoid
+from repro.exceptions import AlgebraError
+
+
+@dataclass(frozen=True)
+class SatVector:
+    """One element of the Definition 5.14 carrier.
+
+    Attributes
+    ----------
+    false_counts:
+        ``x(i, false)`` for ``i = 0 .. length-1``.
+    true_counts:
+        ``x(i, true)`` for ``i = 0 .. length-1``.
+    """
+
+    false_counts: tuple[int, ...]
+    true_counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.false_counts) != len(self.true_counts):
+            raise AlgebraError(
+                "false/true slices of a SatVector must have equal length"
+            )
+
+    @property
+    def length(self) -> int:
+        return len(self.true_counts)
+
+    def sat_count(self, size: int) -> int:
+        """``#Sat(k)``: number of size-*size* endogenous subsets satisfying Q."""
+        return self.true_counts[size]
+
+    def __str__(self) -> str:
+        return f"SatVector(false={self.false_counts}, true={self.true_counts})"
+
+
+def _convolve(left: Sequence[int], right: Sequence[int], length: int) -> list[int]:
+    """(+, ×) convolution truncated to *length* entries (exact ints)."""
+    out = [0] * length
+    for i, left_value in enumerate(left):
+        if not left_value:
+            continue
+        limit = length - i
+        for j in range(min(len(right), limit)):
+            right_value = right[j]
+            if right_value:
+                out[i + j] += left_value * right_value
+    return out
+
+
+def _add_into(target: list[int], extra: Sequence[int]) -> None:
+    for index, value in enumerate(extra):
+        target[index] += value
+
+
+class ShapleyMonoid(TwoMonoid[SatVector]):
+    """The Definition 5.14 2-monoid with vectors truncated to a fixed length.
+
+    Parameters
+    ----------
+    length:
+        Number of stored budget entries; ``|Dn|`` endogenous facts need
+        ``length = |Dn| + 1``.
+    """
+
+    name = "#Sat / Shapley"
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise AlgebraError("ShapleyMonoid needs at least one vector entry")
+        self._length = length
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    # ------------------------------------------------------------------
+    # Distinguished elements
+    # ------------------------------------------------------------------
+    def _unit(self, true_flag: bool) -> SatVector:
+        spike = (1,) + (0,) * (self._length - 1)
+        flat = (0,) * self._length
+        if true_flag:
+            return SatVector(false_counts=flat, true_counts=spike)
+        return SatVector(false_counts=spike, true_counts=flat)
+
+    @property
+    def zero(self) -> SatVector:
+        """0: the empty subset (and only it), evaluating to false."""
+        return self._unit(False)
+
+    @property
+    def one(self) -> SatVector:
+        """1: the empty subset (and only it), evaluating to true — an exogenous fact."""
+        return self._unit(True)
+
+    @property
+    def star(self) -> SatVector:
+        """★: an endogenous fact — false if excluded (size 0), true if included (size 1)."""
+        false_counts = (1,) + (0,) * (self._length - 1)
+        if self._length == 1:
+            true_counts = (0,)
+        else:
+            true_counts = (0, 1) + (0,) * (self._length - 2)
+        return SatVector(false_counts=false_counts, true_counts=true_counts)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def add(self, left: SatVector, right: SatVector) -> SatVector:
+        """Eq. (15): flags combine with ∨."""
+        self._check(left)
+        self._check(right)
+        false_counts = _convolve(left.false_counts, right.false_counts, self._length)
+        true_counts = _convolve(left.false_counts, right.true_counts, self._length)
+        _add_into(true_counts, _convolve(left.true_counts, right.false_counts, self._length))
+        _add_into(true_counts, _convolve(left.true_counts, right.true_counts, self._length))
+        return SatVector(tuple(false_counts), tuple(true_counts))
+
+    def mul(self, left: SatVector, right: SatVector) -> SatVector:
+        """Eq. (16): flags combine with ∧."""
+        self._check(left)
+        self._check(right)
+        true_counts = _convolve(left.true_counts, right.true_counts, self._length)
+        false_counts = _convolve(left.false_counts, right.false_counts, self._length)
+        _add_into(false_counts, _convolve(left.false_counts, right.true_counts, self._length))
+        _add_into(false_counts, _convolve(left.true_counts, right.false_counts, self._length))
+        return SatVector(tuple(false_counts), tuple(true_counts))
+
+    @property
+    def annihilates(self) -> bool:
+        """False: ``a ⊗ 0 ≠ 0`` in general (noted after Definition 5.14)."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check(self, vector: SatVector) -> None:
+        if vector.length != self._length:
+            raise AlgebraError(
+                f"SatVector of length {vector.length} used in a "
+                f"ShapleyMonoid of length {self._length}"
+            )
+
+    def validate(self, vector: SatVector) -> SatVector:
+        self._check(vector)
+        negatives = [
+            v for v in (*vector.false_counts, *vector.true_counts) if v < 0
+        ]
+        if negatives:
+            raise AlgebraError(f"{vector} has negative counts")
+        return vector

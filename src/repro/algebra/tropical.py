@@ -1,0 +1,78 @@
+"""Tropical semirings: ``(N ∪ {∞}, min, +)`` and ``(N, max, ×)``.
+
+The paper's ⊕/⊗ for bag-set maximization are *convolutions over* the
+``(N, max, +)`` and ``(N, max, ×)`` semirings (Section 2).  We expose the
+scalar semirings both for that connection and as additional genuine-semiring
+baselines in the law-census experiment.  The min-plus semiring additionally
+computes a natural "cheapest witness" quantity: with cost annotations, it
+yields the minimum total cost of a single satisfying assignment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algebra.base import CommutativeSemiring
+
+Extended = float
+"""Naturals extended with ``math.inf``."""
+
+
+class MinPlusSemiring(CommutativeSemiring[Extended]):
+    """``(N ∪ {∞}, min, +)``: shortest-path / cheapest-witness semiring."""
+
+    name = "tropical (min, +)"
+
+    @property
+    def zero(self) -> Extended:
+        return math.inf
+
+    @property
+    def one(self) -> Extended:
+        return 0
+
+    def add(self, left: Extended, right: Extended) -> Extended:
+        return min(left, right)
+
+    def mul(self, left: Extended, right: Extended) -> Extended:
+        return left + right
+
+
+class MaxTimesSemiring(CommutativeSemiring[int]):
+    """``(N, max, ×)``: the scalar carrier underlying Eq. (11)."""
+
+    name = "(max, ×)"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, left: int, right: int) -> int:
+        return max(left, right)
+
+    def mul(self, left: int, right: int) -> int:
+        return left * right
+
+
+class MaxPlusSemiring(CommutativeSemiring[Extended]):
+    """``(N ∪ {−∞}, max, +)``: the scalar carrier underlying Eq. (10)."""
+
+    name = "(max, +)"
+
+    @property
+    def zero(self) -> Extended:
+        return -math.inf
+
+    @property
+    def one(self) -> Extended:
+        return 0
+
+    def add(self, left: Extended, right: Extended) -> Extended:
+        return max(left, right)
+
+    def mul(self, left: Extended, right: Extended) -> Extended:
+        return left + right

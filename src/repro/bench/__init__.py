@@ -1,0 +1,16 @@
+"""Benchmark harness: timing, reporting, and the E0–E11 experiment suite."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS, figure1_instance, run_all
+from repro.bench.harness import doubling_ratios, loglog_slope, time_callable
+from repro.bench.reporting import ExperimentResult, format_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "doubling_ratios",
+    "figure1_instance",
+    "format_table",
+    "loglog_slope",
+    "run_all",
+    "time_callable",
+]

@@ -1,0 +1,853 @@
+"""The experiment suite (E0–E11) defined in DESIGN.md.
+
+Each ``run_*`` function regenerates one table of EXPERIMENTS.md: it builds
+the workload, runs the unified algorithm (and the relevant baselines), and
+returns an :class:`~repro.bench.reporting.ExperimentResult`.  The pytest
+benchmarks in ``benchmarks/`` wrap these same functions, and
+``examples/run_all_experiments.py`` prints them all.
+
+Paper artifacts covered:
+
+* E0  — Figure 1 (the worked Bag-Set Maximization example),
+* E1  — Examples 5.2 / 5.3 / 5.4 (elimination traces),
+* E2  — Theorem 5.8 (PQE is O(|D|)),
+* E3  — PQE exactness + crossover against possible-world enumeration,
+* E4  — Theorem 5.11 (BSM is O((|D|+|Dr|)·|Dr|²)),
+* E5  — BSM optimality vs brute force; greedy suboptimality,
+* E6  — Theorem 5.16 (Shapley is O((|Dx|+|Dn|)·|Dn|²)),
+* E7  — Shapley exactness vs permutations; Monte Carlo convergence,
+* E8  — Theorem 4.4 (BCBS reduction; exponential cost on q_nh),
+* E9  — ablation: the θ+1 vector-truncation lever of Theorem 5.11,
+* E10 — ablation: elimination-order policies (Proposition 5.1 confluence),
+* E11 — Definition 5.6 law census and non-distributivity of all three
+  problem 2-monoids.
+
+Extension experiments (beyond the paper, toward its Question 2):
+
+* E12 — resilience as a fourth 2-monoid instantiation,
+* E13 — the semiring/2-monoid tractability boundary measured on q_nh,
+* E14 — free-variable (per-answer) evaluation,
+* E15 — incremental maintenance under single-fact updates.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.algebra.bagset import BagSetMonoid
+from repro.algebra.boolean import BooleanSemiring
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_annihilation_violation,
+    find_distributivity_violation,
+)
+from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.provenance import ProvenanceMonoid, leaf
+from repro.algebra.shapley import ShapleyMonoid
+from repro.bench.harness import loglog_slope, time_callable
+from repro.bench.reporting import ExperimentResult
+from repro.core.algorithm import evaluate_hierarchical, run_algorithm
+from repro.core.instrument import CountingMonoid
+from repro.db.annotated import KDatabase
+from repro.db.database import Database
+from repro.hardness.bcbs import has_balanced_biclique
+from repro.hardness.reduction import (
+    decide_bsm_decision_smart,
+    reduce_bcbs,
+)
+from repro.problems.bagset_max import (
+    BagSetInstance,
+    maximize,
+    maximize_brute_force,
+    maximize_greedy,
+    maximize_profile,
+)
+from repro.problems.pqe import (
+    marginal_probability,
+    marginal_probability_brute_force,
+)
+from repro.problems.possible_worlds import ProbabilisticDatabase
+from repro.problems.shapley import (
+    ShapleyInstance,
+    sat_counts,
+    shapley_value,
+    shapley_value_by_permutations,
+    shapley_value_monte_carlo,
+)
+from repro.query.bcq import BCQ
+from repro.query.elimination import eliminate, make_random_policy
+from repro.query.families import (
+    q_disconnected,
+    q_eq1,
+    q_example_53,
+    q_nh,
+    star_query,
+)
+from repro.workloads.generators import (
+    random_bagset_instance,
+    random_probabilistic_database,
+    random_shapley_instance,
+)
+from repro.workloads.graphs import planted_biclique_graph
+
+
+# ----------------------------------------------------------------------
+# E0 — Figure 1
+# ----------------------------------------------------------------------
+def figure1_instance() -> tuple[BCQ, BagSetInstance]:
+    """The exact instance of Figure 1 (query of Eq. 1, θ = 2)."""
+    query = q_eq1()
+    database = Database.from_relations(
+        {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+    )
+    repair = Database.from_relations(
+        {"R": [(1, 6), (1, 7)], "S": [], "T": [(1, 1, 4), (1, 2, 9)]}
+    )
+    return query, BagSetInstance(database, repair, budget=2)
+
+
+def run_e0_figure1() -> ExperimentResult:
+    """E0: reproduce the worked example of Figure 1 / Section 1."""
+    query, instance = figure1_instance()
+    result = ExperimentResult(
+        "E0",
+        "Figure 1 worked example (Bag-Set Maximization, θ=2)",
+        ("strategy", "Q(D') value"),
+    )
+    from repro.db.evaluation import count_satisfying_assignments
+
+    result.add_row("no repair (paper: 1)", count_satisfying_assignments(query, instance.database))
+    naive = instance.database.with_facts(
+        [f for f in instance.repair_database.facts() if f.relation == "R"]
+    )
+    result.add_row("add R(1,6), R(1,7) (paper: 3)", count_satisfying_assignments(query, naive))
+    result.add_row("unified algorithm optimum (paper: 4)", maximize(query, instance))
+    result.add_row("brute-force optimum (paper: 4)", maximize_brute_force(query, instance))
+    profile = maximize_profile(query, instance)
+    result.add_note(f"full budget profile q(0..θ) = {profile} (paper implies (1, ·, 4))")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E1 — elimination traces of Examples 5.2 / 5.3 / 5.4
+# ----------------------------------------------------------------------
+def run_e1_elimination_examples() -> ExperimentResult:
+    """E1: the elimination procedure on the paper's three worked queries."""
+    result = ExperimentResult(
+        "E1",
+        "Elimination traces (Examples 5.2, 5.3, 5.4)",
+        ("query", "steps", "outcome", "paper"),
+    )
+    cases = [
+        ("Example 5.2", q_eq1(), "Done"),
+        ("Example 5.3", q_example_53(), "Stuck"),
+        ("Example 5.4", q_disconnected(), "Done"),
+    ]
+    for label, query, expected in cases:
+        trace = eliminate(query)
+        outcome = "Done" if trace.success else "Stuck"
+        result.add_row(str(query), len(trace.steps), outcome, expected)
+        result.add_note(f"{label} trace:\n{trace}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E2 — PQE scaling (Theorem 5.8)
+# ----------------------------------------------------------------------
+def run_e2_pqe_scaling(
+    sizes: tuple[int, ...] = (500, 1000, 2000, 4000, 8000),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E2: PQE runtime and ⊕/⊗ operation count vs |D| — both linear."""
+    query = q_eq1()
+    result = ExperimentResult(
+        "E2",
+        "Theorem 5.8 — PQE runtime is O(|D|) on the Eq. (1) query",
+        ("|D|", "time [s]", "⊕/⊗ ops", "ops / |D|"),
+    )
+    measured_sizes: list[int] = []
+    times: list[float] = []
+    for size in sizes:
+        database = random_probabilistic_database(
+            query, facts_per_relation=size // 3, domain_size=max(4, size // 6),
+            seed=size,
+        )
+        elapsed, _ = time_callable(
+            lambda db=database: marginal_probability(query, db), repeats=repeats
+        )
+        counting = CountingMonoid(ProbabilityMonoid())
+        evaluate_hierarchical(
+            query, counting, database.facts(),
+            lambda fact, db=database: db.probability(fact),
+        )
+        n = len(database)
+        measured_sizes.append(n)
+        times.append(elapsed)
+        result.add_row(n, elapsed, counting.operation_count,
+                       round(counting.operation_count / n, 3))
+    slope = loglog_slope(measured_sizes, times)
+    result.add_note(
+        f"log–log slope of time vs |D| = {slope:.2f} (theorem predicts ≈ 1)"
+    )
+    result.add_note("ops/|D| is bounded by a constant (Theorem 6.7)")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3 — PQE vs brute force
+# ----------------------------------------------------------------------
+def run_e3_pqe_vs_bruteforce(
+    sizes: tuple[int, ...] = (6, 9, 12, 15),
+) -> ExperimentResult:
+    """E3: exact agreement with possible-world enumeration + runtime crossover."""
+    query = q_eq1()
+    result = ExperimentResult(
+        "E3",
+        "PQE: unified algorithm vs possible-world brute force",
+        ("|D|", "unified [s]", "brute force [s]", "speedup", "max |Δ|"),
+    )
+    for size in sizes:
+        database = random_probabilistic_database(
+            query, facts_per_relation=size // 3, domain_size=3, seed=size,
+        )
+        unified_time, unified = time_callable(
+            lambda db=database: marginal_probability(query, db), repeats=3
+        )
+        brute_time, brute = time_callable(
+            lambda db=database: marginal_probability_brute_force(query, db),
+            repeats=1,
+        )
+        result.add_row(
+            len(database),
+            unified_time,
+            brute_time,
+            round(brute_time / max(unified_time, 1e-9), 1),
+            abs(unified - brute),
+        )
+    result.add_note("brute force is Θ(2^|D|); the unified algorithm is linear")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E4 — BSM scaling (Theorem 5.11)
+# ----------------------------------------------------------------------
+def run_e4_bsm_scaling(
+    base_sizes: tuple[int, ...] = (200, 400, 800, 1600),
+    repair_sizes: tuple[int, ...] = (16, 32, 64, 128, 256),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E4: the two legs of O((|D|+|Dr|)·|Dr|²) — linear in |D|, quadratic in |Dr|."""
+    query = star_query(2)
+    result = ExperimentResult(
+        "E4",
+        "Theorem 5.11 — BSM runtime: linear leg (|D|) and quadratic leg (|Dr|)",
+        ("leg", "|D|", "|Dr|", "θ", "time [s]"),
+    )
+    d_sizes: list[int] = []
+    d_times: list[float] = []
+    for size in base_sizes:
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=size // 2,
+            repair_facts_per_relation=8, budget=8,
+            domain_size=max(8, size // 4), seed=size,
+        )
+        elapsed, _ = time_callable(
+            lambda inst=instance: maximize(query, inst), repeats=repeats
+        )
+        d_sizes.append(len(instance.database))
+        d_times.append(elapsed)
+        result.add_row("|D| sweep", len(instance.database),
+                       len(instance.repair_database), instance.budget, elapsed)
+    r_sizes: list[int] = []
+    r_times: list[float] = []
+    for size in repair_sizes:
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=100,
+            repair_facts_per_relation=size // 2, budget=size,
+            domain_size=50, seed=size,
+        )
+        theta = len(instance.repair_database)
+        instance = BagSetInstance(
+            instance.database, instance.repair_database, budget=theta
+        )
+        elapsed, _ = time_callable(
+            lambda inst=instance: maximize(query, inst), repeats=repeats
+        )
+        r_sizes.append(max(theta, 1))
+        r_times.append(elapsed)
+        result.add_row("|Dr| sweep", len(instance.database), theta, theta, elapsed)
+    tail = r_times[-1] / r_times[-2]
+    result.add_note(
+        f"|D| sweep log–log slope = {loglog_slope(d_sizes, d_times):.2f} "
+        "(theorem bound: 1)"
+    )
+    result.add_note(
+        f"|Dr| sweep log–log slope = {loglog_slope(r_sizes, r_times):.2f}, "
+        f"last-doubling ratio = {tail:.1f}× "
+        "(theorem bound: 2, i.e. 4× per doubling; small-θ overhead flattens "
+        "the head of the curve)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E5 — BSM vs baselines
+# ----------------------------------------------------------------------
+def run_e5_bsm_vs_baselines(seeds: tuple[int, ...] = (0, 1, 2, 3, 4, 5)) -> ExperimentResult:
+    """E5: unified = brute force everywhere; greedy can be strictly worse."""
+    query = q_eq1()
+    result = ExperimentResult(
+        "E5",
+        "BSM: unified vs brute force vs greedy on random instances",
+        ("seed", "|D|", "|Dr|", "θ", "unified", "brute", "greedy", "greedy gap"),
+    )
+    greedy_gaps = []
+    for seed in seeds:
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=3, repair_facts_per_relation=4,
+            budget=3, domain_size=3, seed=seed,
+        )
+        unified = maximize(query, instance)
+        brute = maximize_brute_force(query, instance)
+        greedy = maximize_greedy(query, instance)
+        gap = unified - greedy
+        greedy_gaps.append(gap)
+        result.add_row(seed, len(instance.database), len(instance.repair_database),
+                       instance.budget, unified, brute, greedy, gap)
+        assert unified == brute, f"unified {unified} != brute {brute} at seed {seed}"
+    result.add_note(
+        "unified == brute force on every instance (exactness); "
+        f"greedy loses on {sum(1 for g in greedy_gaps if g > 0)}/{len(seeds)} seeds"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E6 — Shapley scaling (Theorem 5.16)
+# ----------------------------------------------------------------------
+def run_e6_shapley_scaling(
+    endogenous_sizes: tuple[int, ...] = (16, 32, 64, 128, 256),
+    exogenous_sizes: tuple[int, ...] = (100, 200, 400, 800),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E6: #Sat runtime — quadratic in |Dn| (convolutions), linear in |Dx|."""
+    query = star_query(2)
+    result = ExperimentResult(
+        "E6",
+        "Theorem 5.16 — #Sat runtime: |Dn| (quadratic) and |Dx| (linear) legs",
+        ("leg", "|Dx|", "|Dn|", "time [s]"),
+    )
+    n_sizes: list[int] = []
+    n_times: list[float] = []
+    for size in endogenous_sizes:
+        instance = _split_instance(query, exogenous=40, endogenous=size, seed=size)
+        elapsed, _ = time_callable(
+            lambda inst=instance: sat_counts(query, inst), repeats=repeats
+        )
+        n_sizes.append(instance.endogenous_count)
+        n_times.append(elapsed)
+        result.add_row("|Dn| sweep", len(instance.exogenous),
+                       instance.endogenous_count, elapsed)
+    x_sizes: list[int] = []
+    x_times: list[float] = []
+    for size in exogenous_sizes:
+        instance = _split_instance(query, exogenous=size, endogenous=12, seed=size)
+        elapsed, _ = time_callable(
+            lambda inst=instance: sat_counts(query, inst), repeats=repeats
+        )
+        x_sizes.append(len(instance.exogenous))
+        x_times.append(elapsed)
+        result.add_row("|Dx| sweep", len(instance.exogenous),
+                       instance.endogenous_count, elapsed)
+    n_tail = n_times[-1] / n_times[-2]
+    result.add_note(
+        f"|Dn| sweep log–log slope = {loglog_slope(n_sizes, n_times):.2f}, "
+        f"last-doubling ratio = {n_tail:.1f}× "
+        "(theorem bound: 2; the sparsity-aware convolution beats the "
+        "worst case until the vectors densify)"
+    )
+    result.add_note(
+        f"|Dx| sweep log–log slope = {loglog_slope(x_sizes, x_times):.2f} "
+        "(theorem bound: 1)"
+    )
+    return result
+
+
+def _split_instance(query: BCQ, exogenous: int, endogenous: int, seed: int) -> ShapleyInstance:
+    """A random instance with exact exogenous/endogenous sizes."""
+    rng = random.Random(seed)
+    from repro.workloads.generators import random_database
+
+    total = exogenous + endogenous
+    per_relation = max(1, total // len(query.atoms)) + 1
+    database = random_database(
+        query, per_relation, domain_size=max(8, total // 2), seed=rng
+    )
+    facts = list(database.facts())
+    rng.shuffle(facts)
+    endo = facts[:endogenous]
+    exo = facts[endogenous:endogenous + exogenous]
+    return ShapleyInstance(exogenous=Database(exo), endogenous=Database(endo))
+
+
+# ----------------------------------------------------------------------
+# E7 — Shapley vs baselines
+# ----------------------------------------------------------------------
+def run_e7_shapley_vs_baselines(
+    sample_counts: tuple[int, ...] = (10, 100, 1000, 10000),
+) -> ExperimentResult:
+    """E7: exactness vs the permutation definition; Monte Carlo convergence."""
+    query = q_eq1()
+    instance = random_shapley_instance(
+        query, facts_per_relation=2, domain_size=2, endogenous_fraction=0.8, seed=7,
+    )
+    facts = list(instance.endogenous.facts())
+    fact = facts[0]
+    exact = shapley_value(query, instance, fact)
+    by_permutations = shapley_value_by_permutations(query, instance, fact)
+    result = ExperimentResult(
+        "E7",
+        "Shapley: unified (#Sat route) vs permutation definition vs Monte Carlo",
+        ("estimator", "samples", "value", "abs error"),
+    )
+    result.add_row("unified (#Sat)", "-", str(exact), 0)
+    result.add_row(
+        "permutations (Def. 5.12)", "-", str(by_permutations),
+        float(abs(exact - by_permutations)),
+    )
+    for samples in sample_counts:
+        estimate = shapley_value_monte_carlo(query, instance, fact, samples, seed=1)
+        result.add_row("Monte Carlo", samples, round(estimate, 5),
+                       float(abs(float(exact) - estimate)))
+    result.add_note(
+        f"instance: |Dx|={len(instance.exogenous)}, |Dn|={instance.endogenous_count}; "
+        f"attributed fact: {fact}"
+    )
+    result.add_note("MC error decays like 1/√samples; the unified value is exact")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E8 — hardness (Theorem 4.4)
+# ----------------------------------------------------------------------
+def run_e8_hardness(ks: tuple[int, ...] = (1, 2, 3)) -> ExperimentResult:
+    """E8: the BCBS → BSM reduction on planted-biclique graphs."""
+    query = q_nh()
+    result = ExperimentResult(
+        "E8",
+        "Theorem 4.4 — BCBS reduces to BSM Decision for q_nh",
+        ("k", "n", "|D|", "|Dr|", "θ", "τ", "BCBS direct", "via reduction",
+         "reduction time [s]"),
+    )
+    for k in ks:
+        n = 2 * k + 2
+        graph, _, _ = planted_biclique_graph(n=n, k=k, noise=0.3, seed=k)
+        direct = has_balanced_biclique(graph, k)
+        output = reduce_bcbs(query, graph, k)
+        elapsed, via_reduction = time_callable(
+            lambda out=output: decide_bsm_decision_smart(out), repeats=1
+        )
+        result.add_row(
+            k, n, len(output.instance.database),
+            len(output.instance.repair_database), output.budget, output.target,
+            direct, via_reduction, elapsed,
+        )
+        assert direct == via_reduction
+    result.add_note(
+        "instance sizes grow polynomially in (n, k); solving time grows "
+        "exponentially in k — consistent with NP-hardness and W[1]-hardness "
+        "(Cor. 4.5)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E9 — ablation: vector truncation
+# ----------------------------------------------------------------------
+def run_e9_truncation_ablation(
+    multipliers: tuple[int, ...] = (1, 2, 4, 8),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E9: runtime vs bag-set vector length — the Theorem 5.11 lever."""
+    query = star_query(2)
+    instance = random_bagset_instance(
+        query, base_facts_per_relation=150, repair_facts_per_relation=10,
+        budget=8, domain_size=60, seed=9,
+    )
+    baseline_profile = maximize_profile(query, instance)
+    result = ExperimentResult(
+        "E9",
+        "Ablation — bag-set vector truncation (θ+1 entries vs longer)",
+        ("vector length", "time [s]", "answer q(θ)", "same answer"),
+    )
+    needed = instance.budget + 1
+    for multiplier in multipliers:
+        length = needed * multiplier
+        elapsed, profile = time_callable(
+            lambda ln=length: maximize_profile(query, instance, vector_length=ln),
+            repeats=repeats,
+        )
+        answer = profile[instance.budget]
+        result.add_row(length, elapsed, answer,
+                       answer == baseline_profile[instance.budget])
+    result.add_note(
+        "answers are identical at every length; runtime grows ≈ quadratically "
+        "with vector length — truncation to θ+1 is what buys Theorem 5.11"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E10 — ablation: elimination-order policies
+# ----------------------------------------------------------------------
+def run_e10_order_ablation(repeats: int = 3) -> ExperimentResult:
+    """E10: all elimination policies agree (Prop. 5.1 confluence); timing varies."""
+    query = star_query(4)
+    database = random_probabilistic_database(
+        query, facts_per_relation=800, domain_size=3000, seed=10,
+    )
+    result = ExperimentResult(
+        "E10",
+        "Ablation — elimination-order policies on a 4-branch star query",
+        ("policy", "time [s]", "probability"),
+    )
+    policies = {
+        "rule1_first": "rule1_first",
+        "rule2_first": "rule2_first",
+        "random(seed=0)": make_random_policy(0),
+        "random(seed=1)": make_random_policy(1),
+    }
+    answers = []
+    for label, policy in policies.items():
+        monoid = ProbabilityMonoid()
+
+        def run(policy=policy, monoid=monoid):
+            return evaluate_hierarchical(
+                query, monoid, database.facts(),
+                lambda fact: database.probability(fact), policy=policy,
+            )
+
+        elapsed, answer = time_callable(run, repeats=repeats)
+        answers.append(answer)
+        result.add_row(label, elapsed, answer)
+    spread = max(answers) - min(answers)
+    result.add_note(f"answer spread across policies = {spread:.2e} (confluence)")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E11 — algebra law census
+# ----------------------------------------------------------------------
+def _algebra_samples():
+    """(monoid, samples) pairs for the law census."""
+    import math
+
+    from repro.algebra.provenance import FreeProvenanceMonoid
+    from repro.algebra.real import RealSemiring
+    from repro.algebra.resilience import ResilienceMonoid
+
+    free = FreeProvenanceMonoid()
+    bag = BagSetMonoid(3)
+    shap = ShapleyMonoid(3)
+    prov = ProvenanceMonoid()
+    prob_samples = [0.0, 0.3, 0.5, 0.9, 1.0]
+    bag_samples = [bag.zero, bag.one, bag.star, (0, 1, 2), (1, 2, 2), (2, 2, 3)]
+    shap_samples = [
+        shap.zero, shap.one, shap.star,
+        shap.add(shap.star, shap.star),
+        shap.mul(shap.star, shap.star),
+    ]
+    prov_samples = [
+        prov.zero, prov.one, leaf("a"), leaf("b"),
+        prov.add(leaf("a"), leaf("b")), prov.mul(leaf("c"), leaf("d")),
+    ]
+    free_samples = [
+        free.zero, free.one, leaf("a"), leaf("b"),
+        free.add(leaf("a"), leaf("b")), free.mul(leaf("c"), free.zero),
+    ]
+    count_samples = [0, 1, 2, 3, 7]
+    bool_samples = [False, True]
+    return [
+        (ProbabilityMonoid(), prob_samples),
+        (bag, bag_samples),
+        (shap, shap_samples),
+        (ResilienceMonoid(), [0, 1, 2, 5, math.inf]),
+        (prov, prov_samples),
+        (free, free_samples),
+        (CountingSemiring(), count_samples),
+        (BooleanSemiring(), bool_samples),
+        (RealSemiring(), [0.0, 0.5, 1.0, 2.0]),
+    ]
+
+
+def run_e11_law_census() -> ExperimentResult:
+    """E11: every structure satisfies Def. 5.6; only the semirings distribute."""
+    result = ExperimentResult(
+        "E11",
+        "Definition 5.6 law census across all implemented structures",
+        ("structure", "2-monoid laws", "distributive", "annihilates ⊗0"),
+    )
+    for monoid, samples in _algebra_samples():
+        violations = check_two_monoid_laws(monoid, samples)
+        distributive = find_distributivity_violation(monoid, samples) is None
+        annihilating = find_annihilation_violation(monoid, samples) is None
+        result.add_row(
+            monoid.name,
+            "ok" if not violations else f"{len(violations)} violations",
+            "yes" if distributive else "NO",
+            "yes" if annihilating else "NO",
+        )
+    result.add_note(
+        "the three problem 2-monoids violate distributivity — the structural "
+        "reason Algorithm 1 cannot extend to all acyclic queries (Section 1)"
+    )
+    result.add_note(
+        "the Shapley 2-monoid also violates annihilation-by-zero, which "
+        "forces the union-of-supports join in repro.db.annotated"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E12 — extension: resilience as a fourth instantiation (Question 2)
+# ----------------------------------------------------------------------
+def run_e12_resilience(
+    sizes: tuple[int, ...] = (500, 1000, 2000, 4000),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E12: resilience via the (N ∪ {∞}, +, min) 2-monoid — linear time."""
+    from repro.problems.resilience import (
+        ResilienceInstance,
+        resilience,
+        resilience_brute_force,
+    )
+    from repro.workloads.generators import correlated_database, random_database
+
+    query = q_eq1()
+    result = ExperimentResult(
+        "E12",
+        "Extension — resilience via Algorithm 1 (a new 2-monoid, Question 2)",
+        ("|D|", "resilience", "time [s]"),
+    )
+    measured: list[int] = []
+    times: list[float] = []
+    for size in sizes:
+        database = correlated_database(
+            query, shared_values=size // 10, branch_values=size, seed=size
+        )
+        instance = ResilienceInstance.fully_endogenous(database)
+        elapsed, value = time_callable(
+            lambda inst=instance: resilience(query, inst), repeats=repeats
+        )
+        measured.append(len(database))
+        times.append(elapsed)
+        shown = "∞" if value == float("inf") else int(value)
+        result.add_row(len(database), shown, elapsed)
+    slope = loglog_slope(measured, times)
+    result.add_note(f"log–log slope = {slope:.2f} (linear, like Theorem 5.8)")
+    agreements = 0
+    for seed in range(8):
+        database = random_database(
+            query, facts_per_relation=3, domain_size=2, seed=seed
+        )
+        instance = ResilienceInstance.fully_endogenous(database)
+        if resilience(query, instance) == resilience_brute_force(query, instance):
+            agreements += 1
+    result.add_note(
+        f"agreement with subset-enumeration brute force: {agreements}/8 seeds"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E13 — the semiring/2-monoid boundary in action
+# ----------------------------------------------------------------------
+def run_e13_semiring_contrast(
+    sizes: tuple[int, ...] = (6, 9, 12, 15),
+) -> ExperimentResult:
+    """E13: E[Q(D)] (semiring, easy for q_nh) vs P[Q] (2-monoid, hard).
+
+    The same annotations evaluated under the distributive real semiring give
+    the expectation for *any* acyclic query in polynomial time, while the
+    marginal probability — the non-distributive 2-monoid quantity — needs
+    exponential possible-world enumeration on the non-hierarchical q_nh.
+    """
+    from repro.problems.expected_count import expected_answer_count_direct
+    from repro.workloads.generators import random_probabilistic_database
+
+    query = q_nh()
+    result = ExperimentResult(
+        "E13",
+        "Extension — semiring vs 2-monoid on the non-hierarchical q_nh",
+        ("|D|", "E[Q(D)] time [s]", "P[Q] brute time [s]", "ratio"),
+    )
+    for size in sizes:
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=size // 3, domain_size=3, seed=size
+        )
+        expectation_time, _ = time_callable(
+            lambda db=pdb: expected_answer_count_direct(query, db), repeats=3
+        )
+        probability_time, _ = time_callable(
+            lambda db=pdb: marginal_probability_brute_force(query, db), repeats=1
+        )
+        result.add_row(
+            len(pdb), expectation_time, probability_time,
+            round(probability_time / max(expectation_time, 1e-9), 1),
+        )
+    result.add_note(
+        "E[Q(D)] uses a distributive semiring, so it stays polynomial for the "
+        "non-hierarchical query; P[Q] is #P-hard for it and the baseline "
+        "doubles per fact — the distributivity gap of Section 1, measured"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E14 — extension: free-variable (grouped) evaluation
+# ----------------------------------------------------------------------
+def run_e14_grouped(
+    sizes: tuple[int, ...] = (500, 1000, 2000, 4000),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E14: per-answer K-annotations (GROUP BY analogue) scale linearly."""
+    from repro.algebra.counting import CountingSemiring
+    from repro.core.grouped import evaluate_grouped
+    from repro.workloads.generators import random_probabilistic_database
+
+    query = star_query(2)
+    result = ExperimentResult(
+        "E14",
+        "Extension — free-variable evaluation: per-answer probability",
+        ("|D|", "answers", "time [s]"),
+    )
+    measured: list[int] = []
+    times: list[float] = []
+    for size in sizes:
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=size // 2, domain_size=size // 3,
+            seed=size,
+        )
+        def run(pdb=pdb):
+            return evaluate_grouped(
+                query, {"X"}, ProbabilityMonoid(), pdb.facts(),
+                lambda fact: pdb.probability(fact),
+            )
+
+        elapsed, answers = time_callable(run, repeats=repeats)
+        measured.append(len(pdb))
+        times.append(elapsed)
+        result.add_row(len(pdb), len(answers), elapsed)
+    slope = loglog_slope(measured, times)
+    result.add_note(f"log–log slope = {slope:.2f} (linear)")
+    # Cross-check per-answer counts against assignment grouping.
+    from collections import Counter
+    from repro.db.evaluation import satisfying_assignments
+    from repro.workloads.generators import random_database
+
+    database = random_database(query, facts_per_relation=50, domain_size=20, seed=14)
+    grouped = evaluate_grouped(
+        query, {"X"}, CountingSemiring(), database.facts(), lambda _f: 1
+    )
+    reference = Counter(
+        (assignment["X"],)
+        for assignment in satisfying_assignments(query, database)
+    )
+    matches = dict(grouped.items()) == dict(reference)
+    result.add_note(f"per-answer counts match assignment grouping: {matches}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# E15 — extension: incremental maintenance under updates
+# ----------------------------------------------------------------------
+def run_e15_incremental(
+    sizes: tuple[int, ...] = (1000, 2000, 4000, 8000),
+    updates: int = 200,
+) -> ExperimentResult:
+    """E15: amortized update cost vs full re-evaluation (Question 2)."""
+    import time as _time
+
+    from repro.core.incremental import IncrementalEvaluator
+    from repro.db.fact import Fact
+
+    query = q_eq1()
+    monoid = ProbabilityMonoid()
+    result = ExperimentResult(
+        "E15",
+        "Extension — incremental maintenance under single-fact updates",
+        ("|D|", "re-eval / update [s]", "incremental / update [s]", "speedup"),
+    )
+    for size in sizes:
+        database = random_probabilistic_database(
+            query, facts_per_relation=size // 3, domain_size=max(4, size // 6),
+            seed=size,
+        )
+        annotated = KDatabase.annotate(
+            query, monoid, database.facts(),
+            lambda fact, db=database: db.probability(fact),
+        )
+        rng = random.Random(size)
+        facts = [
+            Fact("R", (rng.randrange(size), rng.randrange(size)))
+            for _ in range(updates)
+        ]
+        # Full re-evaluation baseline: rebuild + run per update.
+        start = _time.perf_counter()
+        working = dict(
+            (fact, database.probability(fact)) for fact in database.facts()
+        )
+        for fact in facts[: max(10, updates // 10)]:
+            working[fact] = 0.5
+            fresh = KDatabase.annotate(
+                query, monoid, working.keys(), working.get
+            )
+            run_algorithm(query, fresh)
+        reeval_per_update = (_time.perf_counter() - start) / max(
+            10, updates // 10
+        )
+        # Incremental path.
+        evaluator = IncrementalEvaluator(query, annotated)
+        start = _time.perf_counter()
+        for fact in facts:
+            evaluator.update(fact, 0.5)
+        incremental_per_update = (_time.perf_counter() - start) / updates
+        result.add_row(
+            len(database),
+            reeval_per_update,
+            incremental_per_update,
+            round(reeval_per_update / max(incremental_per_update, 1e-9), 1),
+        )
+    result.add_note(
+        "incremental cost is O(plan depth × group size) per update and is "
+        "essentially flat in |D|; the re-evaluation baseline grows linearly "
+        "(Thm 5.8), so the speedup widens with the database"
+    )
+    return result
+
+
+ALL_EXPERIMENTS = {
+    "E0": run_e0_figure1,
+    "E1": run_e1_elimination_examples,
+    "E2": run_e2_pqe_scaling,
+    "E3": run_e3_pqe_vs_bruteforce,
+    "E4": run_e4_bsm_scaling,
+    "E5": run_e5_bsm_vs_baselines,
+    "E6": run_e6_shapley_scaling,
+    "E7": run_e7_shapley_vs_baselines,
+    "E8": run_e8_hardness,
+    "E9": run_e9_truncation_ablation,
+    "E10": run_e10_order_ablation,
+    "E11": run_e11_law_census,
+    "E12": run_e12_resilience,
+    "E13": run_e13_semiring_contrast,
+    "E14": run_e14_grouped,
+    "E15": run_e15_incremental,
+}
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run the full suite in order (used by examples/run_all_experiments.py)."""
+    return [runner() for runner in ALL_EXPERIMENTS.values()]

@@ -1,0 +1,55 @@
+"""Timing utilities for the experiment suite.
+
+The paper's claims are asymptotic shapes, not absolute numbers; these helpers
+measure wall-clock times and fit log–log slopes so the benchmarks can report
+"grows like n^slope" next to each theorem's predicted exponent.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def time_callable(fn: Callable[[], T], repeats: int = 3) -> tuple[float, T]:
+    """Best-of-*repeats* wall time of ``fn()`` and its (last) result."""
+    best = math.inf
+    result: T = None  # type: ignore[assignment]
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``log y`` against ``log x``.
+
+    For a runtime curve ``t(n) ≈ c · n^a`` this recovers the exponent ``a``;
+    the scaling experiments compare it against the theorem's bound.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs with equal lengths")
+    log_xs = [math.log(x) for x in xs]
+    log_ys = [math.log(max(y, 1e-12)) for y in ys]
+    n = len(log_xs)
+    mean_x = sum(log_xs) / n
+    mean_y = sum(log_ys) / n
+    numerator = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(log_xs, log_ys)
+    )
+    denominator = sum((x - mean_x) ** 2 for x in log_xs)
+    if denominator == 0:
+        raise ValueError("x values must not all be equal")
+    return numerator / denominator
+
+
+def doubling_ratios(ys: Sequence[float]) -> list[float]:
+    """Successive ratios ``y[i+1] / y[i]`` — 2 for linear growth under doubling."""
+    return [
+        ys[i + 1] / ys[i] if ys[i] else math.inf for i in range(len(ys) - 1)
+    ]

@@ -1,0 +1,63 @@
+"""Plain-text reporting for experiment results.
+
+Each experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult`; this module renders them as aligned ASCII tables —
+the "rows/series the paper reports" in the terms of the reproduction brief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A finished experiment: an id, a table, and free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        lines.extend(f"   note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    def render_row(values: Sequence[str]) -> str:
+        return " | ".join(value.rjust(width) for value, width in zip(values, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_row(list(headers)), separator]
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)

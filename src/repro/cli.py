@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``check``       hierarchicality verdict, elimination trace, compiled plan
+``count``       bag-set value ``Q(D)`` of a query on a database
+``pqe``         marginal probability over a probabilistic database
+``bsm``         bag-set maximization (optionally with the repair witness)
+``shapley``     Shapley (and Banzhaf) values of endogenous facts
+``resilience``  resilience and an optimal contingency set
+``experiments`` regenerate EXPERIMENTS.md tables
+
+Databases are JSON files in the :mod:`repro.db.io` formats::
+
+    {"relations": {"R": [[1, 5]], "S": [[1, 1], [1, 2]]}}           # set DB
+    {"facts": [{"relation": "R", "values": [1, 5],
+                "probability": "1/2"}]}                              # TID
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.core.plan import compile_plan
+from repro.db.evaluation import count_satisfying_assignments
+from repro.db.io import load_database, load_probabilistic
+from repro.exceptions import ReproError
+from repro.problems.bagset_max import (
+    BagSetInstance,
+    maximize_profile,
+    optimal_repair,
+)
+from repro.problems.pqe import marginal_probability
+from repro.problems.resilience import (
+    ResilienceInstance,
+    contingency_set,
+    resilience,
+)
+from repro.problems.shapley import ShapleyInstance, banzhaf_value, shapley_values
+from repro.query.elimination import eliminate
+from repro.query.hierarchy import is_hierarchical
+from repro.query.parser import parse_query
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A Unifying Algorithm for Hierarchical Queries (PODS 2025)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="analyze a query")
+    check.add_argument("query", help='e.g. "Q() :- R(A,B), S(A,C)"')
+
+    count = commands.add_parser("count", help="bag-set value Q(D)")
+    count.add_argument("query")
+    count.add_argument("--db", required=True, help="set-database JSON file")
+
+    pqe = commands.add_parser("pqe", help="probabilistic query evaluation")
+    pqe.add_argument("query")
+    pqe.add_argument("--db", required=True, help="probabilistic-database JSON file")
+    pqe.add_argument("--exact", action="store_true", help="exact rationals")
+
+    bsm = commands.add_parser("bsm", help="bag-set maximization")
+    bsm.add_argument("query")
+    bsm.add_argument("--db", required=True, help="base database JSON file")
+    bsm.add_argument("--repair", required=True, help="repair database JSON file")
+    bsm.add_argument("--budget", type=int, required=True, help="θ")
+    bsm.add_argument(
+        "--witness", action="store_true", help="also print an optimal repair"
+    )
+
+    shapley = commands.add_parser("shapley", help="Shapley values of facts")
+    shapley.add_argument("query")
+    shapley.add_argument("--exogenous", required=True, help="JSON file")
+    shapley.add_argument("--endogenous", required=True, help="JSON file")
+    shapley.add_argument(
+        "--banzhaf", action="store_true", help="also print Banzhaf indices"
+    )
+
+    res = commands.add_parser("resilience", help="resilience of a true query")
+    res.add_argument("query")
+    res.add_argument("--db", required=True, help="endogenous database JSON file")
+    res.add_argument("--exogenous", help="optional exogenous JSON file")
+    res.add_argument(
+        "--witness", action="store_true", help="also print a contingency set"
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate EXPERIMENTS.md tables"
+    )
+    experiments.add_argument(
+        "ids", nargs="*", help=f"subset of {', '.join(ALL_EXPERIMENTS)}"
+    )
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    print(f"query: {query}")
+    hierarchical = is_hierarchical(query)
+    print(f"hierarchical: {hierarchical}")
+    print()
+    print("elimination trace:")
+    print(eliminate(query))
+    if hierarchical:
+        print()
+        print(compile_plan(query))
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = load_database(args.db)
+    print(count_satisfying_assignments(query, database))
+    return 0
+
+
+def _cmd_pqe(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    database = load_probabilistic(args.db)
+    probability = marginal_probability(query, database, exact=args.exact)
+    if args.exact:
+        print(f"{probability} ≈ {float(probability):.6f}")
+    else:
+        print(f"{float(probability):.6f}")
+    return 0
+
+
+def _cmd_bsm(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    instance = BagSetInstance(
+        database=load_database(args.db),
+        repair_database=load_database(args.repair),
+        budget=args.budget,
+    )
+    profile = maximize_profile(query, instance)
+    print(f"optimal Q(D') at budget θ={args.budget}: {profile[args.budget]}")
+    print(f"budget profile q(0..θ): {profile}")
+    if args.witness:
+        value, added = optimal_repair(query, instance)
+        print(f"an optimal repair (value {value}):")
+        for fact in sorted(added, key=repr):
+            print(f"  + {fact}")
+    return 0
+
+
+def _cmd_shapley(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    instance = ShapleyInstance(
+        exogenous=load_database(args.exogenous),
+        endogenous=load_database(args.endogenous),
+    )
+    values = shapley_values(query, instance)
+    ranked = sorted(values.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    for fact, value in ranked:
+        line = f"{str(fact):<40} shapley={value}"
+        if args.banzhaf:
+            line += f"  banzhaf={banzhaf_value(query, instance, fact)}"
+        print(line)
+    return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    exogenous = (
+        load_database(args.exogenous) if args.exogenous else None
+    )
+    from repro.db.database import Database
+
+    instance = ResilienceInstance(
+        exogenous=exogenous or Database(),
+        endogenous=load_database(args.db),
+    )
+    value = resilience(query, instance)
+    if math.isinf(value):
+        print("resilience: ∞ (the exogenous facts alone satisfy the query)")
+    else:
+        print(f"resilience: {int(value)}")
+        if args.witness:
+            chosen = contingency_set(query, instance)
+            assert chosen is not None
+            print("a minimum contingency set:")
+            for fact in sorted(chosen, key=repr):
+                print(f"  - {fact}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    requested = args.ids or list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}", file=sys.stderr)
+        return 2
+    for name in requested:
+        print(ALL_EXPERIMENTS[name]().render())
+        print()
+    return 0
+
+
+_HANDLERS = {
+    "check": _cmd_check,
+    "count": _cmd_count,
+    "pqe": _cmd_pqe,
+    "bsm": _cmd_bsm,
+    "shapley": _cmd_shapley,
+    "resilience": _cmd_resilience,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: Algorithm 1 and its plan compiler."""
+
+from repro.core.algorithm import (
+    ExecutionReport,
+    evaluate_hierarchical,
+    execute_plan,
+    run_algorithm,
+)
+from repro.core.grouped import (
+    GroupedPlan,
+    compile_grouped_plan,
+    evaluate_grouped,
+    execute_grouped_plan,
+)
+from repro.core.incremental import IncrementalEvaluator, incremental_evaluator
+from repro.core.instrument import CountingMonoid
+from repro.core.render import render_rules
+from repro.core.lineage import (
+    equivalent_boolean_functions,
+    naive_lineage,
+    powerset,
+    read_once_lineage,
+)
+from repro.core.plan import (
+    MergeStep,
+    Plan,
+    PlanStep,
+    ProjectStep,
+    compile_plan,
+    plan_from_trace,
+)
+
+__all__ = [
+    "CountingMonoid",
+    "ExecutionReport",
+    "GroupedPlan",
+    "IncrementalEvaluator",
+    "MergeStep",
+    "Plan",
+    "PlanStep",
+    "ProjectStep",
+    "compile_grouped_plan",
+    "compile_plan",
+    "equivalent_boolean_functions",
+    "evaluate_grouped",
+    "evaluate_hierarchical",
+    "execute_grouped_plan",
+    "execute_plan",
+    "incremental_evaluator",
+    "naive_lineage",
+    "plan_from_trace",
+    "powerset",
+    "read_once_lineage",
+    "render_rules",
+    "run_algorithm",
+]

@@ -1,0 +1,113 @@
+"""Algorithm 1: the unifying algorithm for hierarchical queries (Section 5.3).
+
+Given a hierarchical SJF-BCQ ``Q`` and a K-annotated database, the algorithm
+replays the elimination procedure of Proposition 5.1 over annotated relations:
+
+* **Rule 1** (private variable ``Y`` of atom ``R``) becomes the ⊕-aggregation
+  ``R'(x') = ⊕_y R(x', y)`` (line 4 of Algorithm 1);
+* **Rule 2** (duplicate-variable-set atoms ``R1``, ``R2``) becomes the ⊗-join
+  ``R'(x) = R1(x) ⊗ R2(x)`` (line 7).
+
+When the query reaches the form ``Q() :- R()``, the annotation of the nullary
+tuple ``()`` in ``R`` is the output.  The *same* code runs probabilistic query
+evaluation, bag-set maximization, Shapley value computation, and any other
+2-monoid instantiation — only the monoid and the input annotations change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.algebra.base import K, TwoMonoid
+from repro.db.annotated import KDatabase, KRelation
+from repro.db.fact import Fact
+from repro.query.bcq import BCQ
+from repro.query.elimination import Policy
+from repro.core.plan import MergeStep, Plan, PlanStep, ProjectStep, compile_plan
+
+StepHook = Callable[[PlanStep, KRelation], None]
+"""Optional observer invoked after each executed step with its output relation."""
+
+
+@dataclass
+class ExecutionReport:
+    """Bookkeeping produced alongside the answer by :func:`execute_plan`.
+
+    Attributes
+    ----------
+    result:
+        The K-annotation of the terminal nullary tuple.
+    steps_executed:
+        Number of plan steps run.
+    max_live_support:
+        The largest total support size observed across live relations — the
+        Lemma 6.6 quantity (it never exceeds the input size).
+    """
+
+    result: object
+    steps_executed: int
+    max_live_support: int
+
+
+def execute_plan(
+    plan: Plan,
+    annotated: KDatabase[K],
+    on_step: StepHook | None = None,
+) -> ExecutionReport:
+    """Execute *plan* over *annotated* and return the result with bookkeeping."""
+    live: dict[str, KRelation[K]] = {
+        relation.atom.relation: relation for relation in annotated.relations()
+    }
+    max_live = sum(len(relation) for relation in live.values())
+    for index, step in enumerate(plan.steps):
+        if isinstance(step, ProjectStep):
+            source = live.pop(step.source.relation)
+            produced = source.project_out(step.variable, step.target)
+        else:
+            assert isinstance(step, MergeStep)
+            first = live.pop(step.first.relation)
+            second = live.pop(step.second.relation)
+            produced = first.merge(second, step.target)
+        live[step.target.relation] = produced
+        max_live = max(max_live, sum(len(relation) for relation in live.values()))
+        if on_step is not None:
+            on_step(step, produced)
+    final = live[plan.final_relation]
+    return ExecutionReport(
+        result=final.annotation(()),
+        steps_executed=len(plan.steps),
+        max_live_support=max_live,
+    )
+
+
+def run_algorithm(
+    query: BCQ,
+    annotated: KDatabase[K],
+    policy: Policy | str = "rule1_first",
+    on_step: StepHook | None = None,
+) -> K:
+    """Run Algorithm 1 on *query* and the K-annotated database *annotated*.
+
+    Raises :class:`~repro.exceptions.NotHierarchicalError` for
+    non-hierarchical queries (line 10 of Algorithm 1 / Proposition 5.1).
+    """
+    plan = compile_plan(query, policy=policy)
+    return execute_plan(plan, annotated, on_step=on_step).result  # type: ignore[return-value]
+
+
+def evaluate_hierarchical(
+    query: BCQ,
+    monoid: TwoMonoid[K],
+    facts: Iterable[Fact],
+    annotation_of: Callable[[Fact], K],
+    policy: Policy | str = "rule1_first",
+) -> K:
+    """Convenience wrapper: annotate *facts* with ψ = *annotation_of* and run.
+
+    This is the shape all three problem front-ends use: build the ψ-annotated
+    database of Definitions 5.10/5.15 (or the identity annotation for
+    probabilities) and execute the compiled plan.
+    """
+    annotated = KDatabase.annotate(query, monoid, facts, annotation_of)
+    return run_algorithm(query, annotated, policy=policy)

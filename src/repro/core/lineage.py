@@ -1,0 +1,95 @@
+"""Boolean lineage of queries over databases.
+
+Two independent constructions:
+
+* :func:`naive_lineage` — the textbook DNF lineage (∨ over satisfying
+  assignments of the ∧ of their facts), defined for *any* SJF-BCQ.  Generally
+  **not** decomposable: facts repeat across assignments.
+* :func:`read_once_lineage` — Algorithm 1 instantiated with the provenance
+  2-monoid (Definition 6.2) and unique leaf symbols per fact.  By Lemma 6.3
+  the result is decomposable, i.e. a *read-once* formula; this only exists
+  for hierarchical queries.
+
+The two are logically equivalent Boolean functions (checked exhaustively in
+the tests), which is the concrete content of Theorem 6.4's universality:
+every problem's answer is φ(read-once lineage).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable
+
+from repro.algebra.provenance import (
+    ProvTree,
+    ProvenanceMonoid,
+    conjoin,
+    disjoin,
+    false_tree,
+    leaf,
+    truth_value,
+)
+from repro.core.algorithm import run_algorithm
+from repro.db.annotated import KDatabase
+from repro.db.database import Database
+from repro.db.evaluation import satisfying_assignments
+from repro.db.fact import Fact
+from repro.query.bcq import BCQ
+
+
+def naive_lineage(query: BCQ, database: Database) -> ProvTree:
+    """DNF lineage: ``∨_assignments ∧_atoms fact(assignment, atom)``.
+
+    Leaf symbols are the :class:`~repro.db.fact.Fact` objects themselves.
+    """
+    lineage = false_tree()
+    for assignment in satisfying_assignments(query, database):
+        clause = None
+        for atom in query.atoms:
+            values = tuple(assignment[v] for v in atom.variables)
+            fact_leaf = leaf(Fact(atom.relation, values))
+            clause = fact_leaf if clause is None else conjoin(clause, fact_leaf)
+        assert clause is not None
+        lineage = disjoin(lineage, clause)
+    return lineage
+
+
+def read_once_lineage(query: BCQ, database: Database) -> ProvTree:
+    """Read-once lineage via Algorithm 1 over the provenance 2-monoid.
+
+    Requires *query* to be hierarchical; the output is decomposable
+    (Lemma 6.3) and logically equivalent to :func:`naive_lineage`.
+    """
+    monoid = ProvenanceMonoid()
+    annotated = KDatabase.annotate(
+        query, monoid, database.facts(), lambda fact: leaf(fact)
+    )
+    return run_algorithm(query, annotated)
+
+
+def equivalent_boolean_functions(
+    left: ProvTree, right: ProvTree, symbols: Iterable | None = None
+) -> bool:
+    """Exhaustively check that two trees define the same Boolean function.
+
+    Exponential in the number of symbols; intended for tests on small
+    instances only.
+    """
+    universe = sorted(
+        set(symbols) if symbols is not None else left.support | right.support,
+        key=repr,
+    )
+    for size in range(len(universe) + 1):
+        for chosen in combinations(universe, size):
+            chosen_set = frozenset(chosen)
+            if truth_value(left, chosen_set) != truth_value(right, chosen_set):
+                return False
+    return True
+
+
+def powerset(items: Iterable) -> Iterable[tuple]:
+    """All subsets of *items* (used by brute-force baselines and tests)."""
+    materialized = list(items)
+    return chain.from_iterable(
+        combinations(materialized, size) for size in range(len(materialized) + 1)
+    )

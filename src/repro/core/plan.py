@@ -1,0 +1,122 @@
+"""Compilation of elimination traces into executable plans.
+
+Algorithm 1 "mirrors the elimination steps" of Proposition 5.1 (Section 5.3):
+each Rule 1 application becomes a ⊕-aggregation and each Rule 2 application a
+⊗-join.  We compile the elimination trace of a hierarchical query *once* into
+a :class:`Plan` — a linear sequence of :class:`ProjectStep`/:class:`MergeStep`
+over named annotated relations — and then execute it against any 2-monoid and
+any annotated database.  This separates the query-dependent work (polynomial
+in the fixed query size) from the data-dependent work, matching the paper's
+data-complexity accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import NotHierarchicalError
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+from repro.query.elimination import (
+    EliminationTrace,
+    Policy,
+    Rule1Step,
+    Rule2Step,
+    eliminate,
+)
+
+
+@dataclass(frozen=True)
+class ProjectStep:
+    """Rule 1: ``target(x') = ⊕_y source(x', y)`` over the private variable."""
+
+    source: Atom
+    variable: Variable
+    target: Atom
+
+    def __str__(self) -> str:
+        return (
+            f"{self.target.relation} := ⊕[{self.variable}] {self.source.relation}"
+        )
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """Rule 2: ``target(x) = first(x) ⊗ second(x)`` over equal variable sets."""
+
+    first: Atom
+    second: Atom
+    target: Atom
+
+    def __str__(self) -> str:
+        return (
+            f"{self.target.relation} := "
+            f"{self.first.relation} ⊗ {self.second.relation}"
+        )
+
+
+PlanStep = Union[ProjectStep, MergeStep]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable compilation of the elimination procedure for one query."""
+
+    query: BCQ
+    steps: tuple[PlanStep, ...]
+    final_relation: str
+
+    def __str__(self) -> str:
+        lines = [f"plan for {self.query}:"]
+        lines.extend(f"  {step}" for step in self.steps)
+        lines.append(f"  return {self.final_relation}()")
+        return "\n".join(lines)
+
+    @property
+    def project_count(self) -> int:
+        return sum(1 for step in self.steps if isinstance(step, ProjectStep))
+
+    @property
+    def merge_count(self) -> int:
+        return sum(1 for step in self.steps if isinstance(step, MergeStep))
+
+
+def compile_plan(query: BCQ, policy: Policy | str = "rule1_first") -> Plan:
+    """Compile *query* into a :class:`Plan`.
+
+    Raises
+    ------
+    NotHierarchicalError
+        When the elimination procedure gets stuck — i.e., exactly when the
+        query is not hierarchical (Proposition 5.1).
+    """
+    trace = eliminate(query, policy=policy)
+    return plan_from_trace(trace)
+
+
+def plan_from_trace(trace: EliminationTrace) -> Plan:
+    """Convert a successful elimination trace into a plan."""
+    if not trace.success:
+        raise NotHierarchicalError(
+            f"query {trace.query} is not hierarchical; "
+            f"elimination got stuck at {trace.final_query}"
+        )
+    steps: list[PlanStep] = []
+    for step in trace.steps:
+        if isinstance(step, Rule1Step):
+            steps.append(
+                ProjectStep(
+                    source=step.source, variable=step.variable, target=step.target
+                )
+            )
+        else:
+            assert isinstance(step, Rule2Step)
+            steps.append(
+                MergeStep(first=step.first, second=step.second, target=step.target)
+            )
+    return Plan(
+        query=trace.query,
+        steps=tuple(steps),
+        final_relation=trace.final_relation,
+    )

@@ -1,0 +1,53 @@
+"""Rendering plans in the paper's rule notation (Eqs. 4–9).
+
+Section 2 of the paper presents the algorithm for the Eq. (1) query as a
+sequence of rules over K-annotated relations::
+
+    T'(a, c)  ← ⊕_{d ∈ Dom} T(a, c, d)
+    S'(a, c)  ← S(a, c) ⊗ T'(a, c)
+    ...
+    Q()       ← ⊕_{a ∈ Dom} R''(a)
+
+:func:`render_rules` produces exactly this view of a compiled
+:class:`~repro.core.plan.Plan`, which the examples and the CLI use to show
+users what Algorithm 1 is about to execute.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import MergeStep, Plan, ProjectStep
+from repro.query.atoms import Atom
+
+
+def _tuple_vars(atom: Atom) -> str:
+    """Lower-case value names for an atom's variables, as in the paper."""
+    return ", ".join(v.lower() for v in atom.variables)
+
+
+def _atom_term(atom: Atom) -> str:
+    return f"{atom.relation}({_tuple_vars(atom)})"
+
+
+def render_rules(plan: Plan, head: str = "Q") -> str:
+    """Render *plan* as the paper's sequence of ⊕/⊗ rules."""
+    lines = []
+    for step in plan.steps:
+        if isinstance(step, ProjectStep):
+            body = (
+                f"⊕_{{{step.variable.lower()} ∈ Dom}} "
+                f"{_atom_term(step.source)}"
+            )
+            lines.append(f"{_atom_term(step.target)} ← {body}")
+        else:
+            assert isinstance(step, MergeStep)
+            lines.append(
+                f"{_atom_term(step.target)} ← "
+                f"{_atom_term(step.first)} ⊗ {_atom_term(step.second)}"
+            )
+    lines.append(f"{head}() ← {plan.final_relation}()")
+    widths = max((line.index("←") for line in lines), default=0)
+    aligned = []
+    for line in lines:
+        left, _, right = line.partition("←")
+        aligned.append(f"{left.rstrip():<{widths}} ← {right.strip()}")
+    return "\n".join(aligned)

@@ -1,0 +1,43 @@
+"""Relational substrate: facts, set databases, CQ evaluation, K-annotations."""
+
+from repro.db.annotated import KDatabase, KRelation
+from repro.db.database import Database, repair_cost
+from repro.db.evaluation import (
+    count_satisfying_assignments,
+    evaluates_true,
+    satisfying_assignments,
+)
+from repro.db.fact import Fact, Value, make_fact
+from repro.db.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    load_probabilistic,
+    probabilistic_from_dict,
+    probabilistic_to_dict,
+    save_database,
+    save_probabilistic,
+)
+from repro.db.schema import Schema
+
+__all__ = [
+    "Database",
+    "Fact",
+    "KDatabase",
+    "KRelation",
+    "Schema",
+    "Value",
+    "count_satisfying_assignments",
+    "database_from_dict",
+    "database_to_dict",
+    "evaluates_true",
+    "load_database",
+    "load_probabilistic",
+    "make_fact",
+    "probabilistic_from_dict",
+    "probabilistic_to_dict",
+    "repair_cost",
+    "satisfying_assignments",
+    "save_database",
+    "save_probabilistic",
+]

@@ -1,0 +1,261 @@
+"""K-annotated relations and databases (the inputs of Algorithm 1).
+
+A K-annotated relation formally assigns an element of the 2-monoid ``K`` to
+*every* tuple in ``Dom^X``; we store only the tuples whose annotation differs
+from ``K.zero`` (the *support*, Definition 6.5) plus, transiently, tuples the
+algorithm computes.  Absent tuples implicitly carry ``K.zero``.
+
+The subtle point, inherited from the weakness of 2-monoids: ``a ⊗ 0 = 0``
+need **not** hold (the Shapley 2-monoid violates it).  A Rule 2 merge must
+therefore evaluate every tuple in the *union* of the two supports — a tuple
+present on one side only gets ``a ⊗ 0``, which can be non-zero.  Only when
+the monoid declares :attr:`~repro.algebra.base.TwoMonoid.annihilates` may the
+join skip one-sided tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, Mapping
+
+from repro.algebra.base import K, TwoMonoid
+from repro.db.database import Database
+from repro.db.fact import Fact, Value
+from repro.exceptions import AlgebraError, SchemaError
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+
+
+class KRelation(Generic[K]):
+    """A K-annotated relation over the variables of one atom.
+
+    Tuples are stored positionally, aligned with ``atom.variables``.
+    Annotations equal to ``monoid.zero`` are dropped on construction, so the
+    stored mapping is exactly the support.
+    """
+
+    def __init__(
+        self,
+        atom: Atom,
+        monoid: TwoMonoid[K],
+        annotations: Mapping[tuple[Value, ...], K] | None = None,
+    ):
+        self.atom = atom
+        self.monoid = monoid
+        self._annotations: dict[tuple[Value, ...], K] = {}
+        if annotations:
+            for values, annotation in annotations.items():
+                self.set(values, annotation)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def annotation(self, values: tuple[Value, ...]) -> K:
+        """The annotation of *values* (``zero`` for absent tuples)."""
+        return self._annotations.get(tuple(values), self.monoid.zero)
+
+    def set(self, values: tuple[Value, ...], annotation: K) -> None:
+        """Set an annotation, keeping the zero-dropping invariant."""
+        values = tuple(values)
+        if len(values) != self.atom.arity:
+            raise SchemaError(
+                f"tuple {values} has arity {len(values)}; atom {self.atom} "
+                f"expects {self.atom.arity}"
+            )
+        if self.monoid.is_zero(annotation):
+            self._annotations.pop(values, None)
+        else:
+            self._annotations[values] = annotation
+
+    def support(self) -> frozenset[tuple[Value, ...]]:
+        """The tuples with non-zero annotation (Definition 6.5)."""
+        return frozenset(self._annotations)
+
+    def items(self) -> Iterator[tuple[tuple[Value, ...], K]]:
+        return iter(self._annotations.items())
+
+    def __len__(self) -> int:
+        """The *size* of the relation: its support cardinality (Def. 6.5)."""
+        return len(self._annotations)
+
+    def __repr__(self) -> str:
+        return f"KRelation({self.atom}, |support|={len(self)})"
+
+    # ------------------------------------------------------------------
+    # The two elimination operations of Algorithm 1
+    # ------------------------------------------------------------------
+    def project_out(self, variable: Variable, target: Atom) -> "KRelation[K]":
+        """Rule 1 (line 4): ``R'(x') = ⊕_y R(x', y)``.
+
+        Groups the support by the remaining positions and ⊕-folds each group.
+        Tuples outside the support contribute the ⊕-identity and are skipped.
+        """
+        if variable not in self.atom.variable_set:
+            raise AlgebraError(f"{variable} does not occur in {self.atom}")
+        keep_positions = tuple(
+            i for i, v in enumerate(self.atom.variables) if v != variable
+        )
+        groups: dict[tuple[Value, ...], K] = {}
+        monoid = self.monoid
+        for values, annotation in self._annotations.items():
+            key = tuple(values[i] for i in keep_positions)
+            existing = groups.get(key)
+            groups[key] = (
+                annotation if existing is None else monoid.add(existing, annotation)
+            )
+        result = KRelation(target, monoid)
+        for key, annotation in groups.items():
+            result.set(key, annotation)
+        return result
+
+    def merge(self, other: "KRelation[K]", target: Atom) -> "KRelation[K]":
+        """Rule 2 (line 7): ``R'(x) = R1(x) ⊗ R2(x)``.
+
+        Iterates the union of the two supports (see module docstring for why
+        the union — not the intersection — is required in general), or just
+        this relation's support when the monoid annihilates by zero and the
+        other side's missing tuples would zero out anyway.
+        """
+        if self.atom.variable_set != other.atom.variable_set:
+            raise AlgebraError(
+                f"cannot merge {self.atom} with {other.atom}: "
+                "different variable sets"
+            )
+        monoid = self.monoid
+        if monoid is not other.monoid:
+            raise AlgebraError("cannot merge relations over different monoids")
+        # Positional alignment: other's tuples reordered to target's order.
+        other_positions = tuple(
+            other.atom.variables.index(v) for v in target.variables
+        )
+        self_positions = tuple(
+            self.atom.variables.index(v) for v in target.variables
+        )
+
+        def align_self(values: tuple[Value, ...]) -> tuple[Value, ...]:
+            return tuple(values[i] for i in self_positions)
+
+        def align_other(values: tuple[Value, ...]) -> tuple[Value, ...]:
+            return tuple(values[i] for i in other_positions)
+
+        result = KRelation(target, monoid)
+        other_by_key: dict[tuple[Value, ...], K] = {
+            align_other(values): annotation for values, annotation in other.items()
+        }
+        seen: set[tuple[Value, ...]] = set()
+        for values, annotation in self._annotations.items():
+            key = align_self(values)
+            seen.add(key)
+            other_annotation = other_by_key.get(key, monoid.zero)
+            result.set(key, monoid.mul(annotation, other_annotation))
+        if not monoid.annihilates:
+            for key, other_annotation in other_by_key.items():
+                if key not in seen:
+                    result.set(key, monoid.mul(monoid.zero, other_annotation))
+        return result
+
+
+    def absorb(self, smaller: "KRelation[K]", target: Atom) -> "KRelation[K]":
+        """Semi-join-style merge of an atom over a variable *subset*.
+
+        ``R'(y) = self(y) ⊗ smaller(y|X)`` where ``X ⊂ Y``.  Used only by the
+        free-variable engine (:mod:`repro.core.grouped`) to fold an atom whose
+        remaining variables are all free into a superset atom.  Each tuple of
+        *smaller* may annotate many output tuples, so this is sound only when
+        no later ⊕ ever folds two outputs sharing a *smaller* tuple — the
+        grouped engine guarantees that by never projecting free variables —
+        and only for monoids with annihilation-by-zero (otherwise tuples
+        absent from this relation but whose projection hits *smaller* would
+        need non-zero annotations over an unbounded domain).
+        """
+        monoid = self.monoid
+        if monoid is not smaller.monoid:
+            raise AlgebraError("cannot absorb a relation over a different monoid")
+        if not monoid.annihilates:
+            raise AlgebraError(
+                f"absorb requires annihilation-by-zero; {monoid.name} lacks it"
+            )
+        if not smaller.atom.variable_set < self.atom.variable_set:
+            raise AlgebraError(
+                f"{smaller.atom} is not over a strict variable subset of {self.atom}"
+            )
+        if target.variable_set != self.atom.variable_set:
+            raise AlgebraError(
+                f"target {target} must keep the variable set of {self.atom}"
+            )
+        self_positions = tuple(
+            self.atom.variables.index(v) for v in target.variables
+        )
+        smaller_positions = tuple(
+            target.variables.index(v) for v in smaller.atom.variables
+        )
+        result = KRelation(target, monoid)
+        for values, annotation in self._annotations.items():
+            key = tuple(values[i] for i in self_positions)
+            projected = tuple(key[i] for i in smaller_positions)
+            result.set(key, monoid.mul(annotation, smaller.annotation(projected)))
+        return result
+
+
+class KDatabase(Generic[K]):
+    """A K-annotated database: one :class:`KRelation` per atom of a query."""
+
+    def __init__(self, query: BCQ, monoid: TwoMonoid[K]):
+        query.require_self_join_free()
+        self.query = query
+        self.monoid = monoid
+        self._relations: dict[str, KRelation[K]] = {
+            atom.relation: KRelation(atom, monoid) for atom in query.atoms
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def annotate(
+        cls,
+        query: BCQ,
+        monoid: TwoMonoid[K],
+        facts: Iterable[Fact],
+        annotation_of: Callable[[Fact], K],
+    ) -> "KDatabase[K]":
+        """Annotate *facts* with ``annotation_of`` (the ψ of Defs. 5.10/5.15)."""
+        annotated = cls(query, monoid)
+        for fact in facts:
+            annotated.set(fact, annotation_of(fact))
+        return annotated
+
+    @classmethod
+    def from_database(
+        cls,
+        query: BCQ,
+        monoid: TwoMonoid[K],
+        database: Database,
+        annotation_of: Callable[[Fact], K] | None = None,
+    ) -> "KDatabase[K]":
+        """Annotate every fact of *database* (defaulting to ``monoid.one``)."""
+        database.validate_against(query)
+        fn = annotation_of or (lambda _fact: monoid.one)
+        return cls.annotate(query, monoid, database.facts(), fn)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> KRelation[K]:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no annotated relation named {name!r}") from None
+
+    def set(self, fact: Fact, annotation: K) -> None:
+        relation = self.relation(fact.relation)
+        relation.set(fact.values, annotation)
+
+    def annotation(self, fact: Fact) -> K:
+        return self.relation(fact.relation).annotation(fact.values)
+
+    def relations(self) -> Iterator[KRelation[K]]:
+        return iter(self._relations.values())
+
+    def size(self) -> int:
+        """``|D|`` for annotated databases: total support size (Def. 6.5)."""
+        return sum(len(relation) for relation in self._relations.values())

@@ -1,0 +1,146 @@
+"""Set database instances: finite sets of facts grouped per relation.
+
+This is the paper's input model: a database instance over a schema is a *set*
+of facts (no duplicates — bag semantics appears only in query *outputs*).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.db.fact import Fact, Value
+from repro.db.schema import Schema
+from repro.exceptions import SchemaError
+
+
+class Database:
+    """An immutable-by-convention set of facts, indexed per relation.
+
+    Construction accepts facts, ``(relation, values)`` pairs, or a mapping
+    ``relation -> iterable of value tuples`` (see :meth:`from_relations`).
+    """
+
+    def __init__(self, facts: Iterable[Fact] = (), schema: Schema | None = None):
+        self._relations: dict[str, set[tuple[Value, ...]]] = {}
+        self._size = 0
+        for fact in facts:
+            self._add(fact)
+        self._schema = schema
+        if schema is not None:
+            schema.validate_facts(self.facts())
+            for relation in schema:
+                self._relations.setdefault(relation, set())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relations(
+        cls,
+        relations: Mapping[str, Iterable[tuple[Value, ...] | list[Value]]],
+        schema: Schema | None = None,
+    ) -> "Database":
+        """Build a database from ``{"R": [(1, 5), ...], "S": [...]}``."""
+        facts = [
+            Fact(relation, tuple(values))
+            for relation, tuples in relations.items()
+            for values in tuples
+        ]
+        return cls(facts, schema=schema)
+
+    def _add(self, fact: Fact) -> None:
+        bucket = self._relations.setdefault(fact.relation, set())
+        if fact.values not in bucket:
+            bucket.add(fact.values)
+            self._size += 1
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """The relation symbols with at least one declared bucket."""
+        return tuple(sorted(self._relations))
+
+    def tuples(self, relation: str) -> frozenset[tuple[Value, ...]]:
+        """The set of value tuples stored for *relation* (empty if unknown)."""
+        return frozenset(self._relations.get(relation, ()))
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all facts in deterministic order."""
+        for relation in sorted(self._relations):
+            for values in sorted(self._relations[relation], key=repr):
+                yield Fact(relation, values)
+
+    def active_domain(self) -> frozenset[Value]:
+        """All values occurring anywhere in the database."""
+        return frozenset(
+            value
+            for tuples in self._relations.values()
+            for values in tuples
+            for value in values
+        )
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact.values in self._relations.get(fact.relation, ())
+
+    def __len__(self) -> int:
+        """``|D|``: the number of facts."""
+        return self._size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return frozenset(self.facts()) == frozenset(other.facts())
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.facts()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{relation}:{len(self._relations[relation])}"
+            for relation in sorted(self._relations)
+        )
+        return f"Database({parts})"
+
+    # ------------------------------------------------------------------
+    # Set-algebraic operations (all return new databases)
+    # ------------------------------------------------------------------
+    def with_facts(self, extra: Iterable[Fact]) -> "Database":
+        """Return this database with *extra* facts added (set union)."""
+        return Database([*self.facts(), *extra])
+
+    def without_facts(self, removed: Iterable[Fact]) -> "Database":
+        """Return this database with the given facts removed."""
+        removed_set = set(removed)
+        return Database(fact for fact in self.facts() if fact not in removed_set)
+
+    def union(self, other: "Database") -> "Database":
+        return self.with_facts(other.facts())
+
+    def difference(self, other: "Database") -> "Database":
+        return self.without_facts(other.facts())
+
+    def restrict(self, relations: Iterable[str]) -> "Database":
+        """Keep only the facts of the given relation symbols."""
+        keep = set(relations)
+        return Database(fact for fact in self.facts() if fact.relation in keep)
+
+    def validate_against(self, query) -> None:
+        """Raise :class:`SchemaError` unless all facts fit the query's schema."""
+        schema = Schema.of_query(query)
+        for fact in self.facts():
+            schema.validate_fact(fact)
+
+
+def repair_cost(original: Database, repaired: Database) -> int:
+    """``cost(D, D')``: the number of facts added by the repair (Def. 4.1).
+
+    Raises :class:`SchemaError` if *repaired* is not a superset of *original*
+    (repairs only add facts).
+    """
+    original_facts = frozenset(original.facts())
+    repaired_facts = frozenset(repaired.facts())
+    if not original_facts <= repaired_facts:
+        raise SchemaError("a repair must contain every fact of the original database")
+    return len(repaired_facts - original_facts)

@@ -1,0 +1,113 @@
+"""Conjunctive-query evaluation over set databases.
+
+Provides the three primitives the paper's problems are built on:
+
+* :func:`evaluates_true` — Boolean (set) semantics ``D ⊨ Q``;
+* :func:`count_satisfying_assignments` — the bag-set value ``Q(D)``, i.e. the
+  number of distinct satisfying assignments of ``Q`` over ``D``;
+* :func:`satisfying_assignments` — enumeration of the assignments themselves.
+
+Evaluation is backtracking search over the atoms with hash indexes built on
+the join positions, after a greedy join-order pass (bound-variables-first,
+then smallest relation).  This is exact and deliberately simple; it is the
+*baseline substrate*, not the paper's contribution — Algorithm 1 lives in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.db.database import Database
+from repro.db.fact import Value
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+
+Assignment = Mapping[Variable, Value]
+
+
+def _order_atoms(query: BCQ, database: Database) -> list[Atom]:
+    """Greedy join order: prefer atoms sharing variables with already-placed ones,
+    breaking ties by smaller relation, then by fewer unbound variables."""
+    remaining = list(query.atoms)
+    ordered: list[Atom] = []
+    bound: set[Variable] = set()
+    while remaining:
+        def score(atom: Atom) -> tuple[int, int, int]:
+            unbound = len(atom.variable_set - bound)
+            shares = 0 if (atom.variable_set & bound) or not ordered else 1
+            return (shares, unbound, len(database.tuples(atom.relation)))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variable_set
+    return ordered
+
+
+class _AtomIndex:
+    """Hash index of one relation keyed on the atom positions bound at probe time."""
+
+    def __init__(self, atom: Atom, database: Database, bound_before: set[Variable]):
+        self.atom = atom
+        self.key_positions = tuple(
+            i for i, v in enumerate(atom.variables) if v in bound_before
+        )
+        self.free_positions = tuple(
+            i for i, v in enumerate(atom.variables) if v not in bound_before
+        )
+        self.free_variables = tuple(atom.variables[i] for i in self.free_positions)
+        self._index: dict[tuple[Value, ...], list[tuple[Value, ...]]] = {}
+        for values in database.tuples(atom.relation):
+            key = tuple(values[i] for i in self.key_positions)
+            self._index.setdefault(key, []).append(values)
+
+    def probe(self, assignment: dict[Variable, Value]) -> list[tuple[Value, ...]]:
+        key = tuple(
+            assignment[self.atom.variables[i]] for i in self.key_positions
+        )
+        return self._index.get(key, [])
+
+
+def satisfying_assignments(
+    query: BCQ, database: Database
+) -> Iterator[dict[Variable, Value]]:
+    """Enumerate all satisfying assignments of *query* over *database*.
+
+    Each yielded dict maps every variable of the query to a value; the number
+    of yields equals ``Q(D)`` under bag-set semantics.
+    """
+    ordered = _order_atoms(query, database)
+    indexes: list[_AtomIndex] = []
+    bound: set[Variable] = set()
+    for atom in ordered:
+        indexes.append(_AtomIndex(atom, database, bound))
+        bound |= atom.variable_set
+
+    assignment: dict[Variable, Value] = {}
+
+    def extend(depth: int) -> Iterator[dict[Variable, Value]]:
+        if depth == len(indexes):
+            yield dict(assignment)
+            return
+        index = indexes[depth]
+        for values in index.probe(assignment):
+            for position, variable in zip(index.free_positions, index.free_variables):
+                assignment[variable] = values[position]
+            yield from extend(depth + 1)
+        for variable in index.free_variables:
+            assignment.pop(variable, None)
+
+    yield from extend(0)
+
+
+def count_satisfying_assignments(query: BCQ, database: Database) -> int:
+    """``Q(D)`` under bag-set semantics: the number of satisfying assignments."""
+    return sum(1 for _ in satisfying_assignments(query, database))
+
+
+def evaluates_true(query: BCQ, database: Database) -> bool:
+    """``D ⊨ Q``: Boolean semantics, with early exit on the first witness."""
+    for _ in satisfying_assignments(query, database):
+        return True
+    return False

@@ -1,0 +1,38 @@
+"""Facts: ground atoms ``R(a, b, ...)`` over a countable value domain.
+
+Values can be any hashable Python objects (ints and strings in practice).
+A fact is positional: its values align with the variable order of the query
+atom over the same relation symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+Value = Hashable
+"""Domain values are arbitrary hashable objects."""
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A ground fact ``relation(values...)``."""
+
+    relation: str
+    values: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.relation}({inner})"
+
+
+def make_fact(relation: str, values: Iterable[Value]) -> Fact:
+    """Convenience constructor accepting any iterable of values."""
+    return Fact(relation, tuple(values))

@@ -1,0 +1,75 @@
+"""Schemas: relation symbols with fixed arities.
+
+A schema is induced by the atoms of a query (``at(Q)`` in the paper); database
+instances are validated against it so arity mismatches fail loudly instead of
+silently producing empty joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError
+from repro.db.fact import Fact
+from repro.query.bcq import BCQ
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A mapping from relation symbols to arities."""
+
+    arities: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arities", dict(self.arities))
+
+    @classmethod
+    def of_query(cls, query: BCQ) -> "Schema":
+        """The schema induced by the atoms of *query*.
+
+        Raises :class:`SchemaError` when two atoms of the query disagree on
+        the arity of a shared relation symbol (possible only for non-SJF
+        queries).
+        """
+        arities: dict[str, int] = {}
+        for atom in query.atoms:
+            existing = arities.get(atom.relation)
+            if existing is not None and existing != atom.arity:
+                raise SchemaError(
+                    f"relation {atom.relation!r} used with arities "
+                    f"{existing} and {atom.arity}"
+                )
+            arities[atom.relation] = atom.arity
+        return cls(arities)
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return tuple(sorted(self.arities))
+
+    def arity(self, relation: str) -> int:
+        try:
+            return self.arities[relation]
+        except KeyError:
+            raise SchemaError(f"unknown relation {relation!r}") from None
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self.arities
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.relations)
+
+    def validate_fact(self, fact: Fact) -> None:
+        """Raise :class:`SchemaError` unless *fact* fits this schema."""
+        if fact.relation not in self.arities:
+            raise SchemaError(f"fact {fact} uses unknown relation {fact.relation!r}")
+        expected = self.arities[fact.relation]
+        if fact.arity != expected:
+            raise SchemaError(
+                f"fact {fact} has arity {fact.arity}; "
+                f"schema expects arity {expected}"
+            )
+
+    def validate_facts(self, facts: Iterable[Fact]) -> None:
+        for fact in facts:
+            self.validate_fact(fact)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers can
+catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed or violates a required property."""
+
+
+class ParseError(QueryError):
+    """Raised when a query string cannot be parsed."""
+
+
+class NotSelfJoinFreeError(QueryError):
+    """Raised when an operation requires a self-join-free query."""
+
+
+class NotHierarchicalError(QueryError):
+    """Raised when an operation requires a hierarchical query.
+
+    Algorithm 1 applies only to hierarchical SJF-BCQs (Proposition 5.1 of the
+    paper); feeding it a non-hierarchical query raises this error.
+    """
+
+
+class SchemaError(ReproError):
+    """Raised when facts or relations do not match the expected schema."""
+
+
+class AlgebraError(ReproError):
+    """Raised when 2-monoid elements are used inconsistently."""
+
+
+class ReductionError(ReproError):
+    """Raised when a hardness reduction receives an invalid input."""

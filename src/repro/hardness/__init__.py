@@ -1,0 +1,31 @@
+"""NP-hardness side of the dichotomy: BCBS and the Theorem 4.4 reduction."""
+
+from repro.hardness.bcbs import (
+    Graph,
+    Vertex,
+    complete_bipartite_graph,
+    find_balanced_biclique,
+    has_balanced_biclique,
+    max_balanced_biclique,
+)
+from repro.hardness.reduction import (
+    ReductionOutput,
+    decide_bcbs_via_bsm,
+    decide_bsm_decision_smart,
+    extract_biclique_from_repair,
+    reduce_bcbs,
+)
+
+__all__ = [
+    "Graph",
+    "ReductionOutput",
+    "Vertex",
+    "complete_bipartite_graph",
+    "decide_bcbs_via_bsm",
+    "decide_bsm_decision_smart",
+    "extract_biclique_from_repair",
+    "find_balanced_biclique",
+    "has_balanced_biclique",
+    "max_balanced_biclique",
+    "reduce_bcbs",
+]

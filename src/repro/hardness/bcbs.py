@@ -1,0 +1,120 @@
+"""The Balanced Complete Bipartite Subgraph (BCBS) problem.
+
+BCBS (Garey & Johnson, problem GT24; also known as Bipartite Clique): given
+an undirected self-loop-free graph ``G`` and ``k``, decide whether ``G``
+contains a complete bipartite subgraph with two parts of size ``k`` each.
+Theorem 4.4 reduces BCBS to Bag-Set Maximization Decision for every
+non-hierarchical SJF-BCQ, establishing NP-completeness of the latter.
+
+We implement the graph model and an exact (exponential) BCBS solver used to
+validate the reduction end-to-end on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable, Iterable
+
+from repro.exceptions import ReductionError
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected, self-loop-free graph."""
+
+    vertices: frozenset[Vertex]
+    edges: frozenset[frozenset[Vertex]]
+
+    def __post_init__(self) -> None:
+        for edge in self.edges:
+            if len(edge) != 2:
+                raise ReductionError(f"edge {set(edge)} is not a 2-element set")
+            if not edge <= self.vertices:
+                raise ReductionError(f"edge {set(edge)} uses unknown vertices")
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[Vertex, Vertex]], vertices: Iterable[Vertex] = ()
+    ) -> "Graph":
+        """Build a graph from vertex pairs (self-loops are rejected)."""
+        edge_set = set()
+        vertex_set = set(vertices)
+        for u, v in edges:
+            if u == v:
+                raise ReductionError(f"self-loop at {u!r} is not allowed")
+            edge_set.add(frozenset({u, v}))
+            vertex_set.update((u, v))
+        return cls(frozenset(vertex_set), frozenset(edge_set))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return frozenset({u, v}) in self.edges
+
+    def neighbors(self, vertex: Vertex) -> frozenset[Vertex]:
+        return frozenset(
+            next(iter(edge - {vertex}))
+            for edge in self.edges
+            if vertex in edge
+        )
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+
+def find_balanced_biclique(
+    graph: Graph, k: int
+) -> tuple[frozenset[Vertex], frozenset[Vertex]] | None:
+    """Find a complete bipartite subgraph with parts of size *k*, if one exists.
+
+    Exhaustive over k-subsets of the vertices for the first part; the second
+    part is any k common neighbors.  (Because the graph has no self-loops,
+    common neighbors of a set are automatically disjoint from it.)
+    """
+    if k <= 0:
+        raise ReductionError("k must be positive")
+    vertices = sorted(graph.vertices, key=repr)
+    neighborhoods = {vertex: graph.neighbors(vertex) for vertex in vertices}
+    for part_one in combinations(vertices, k):
+        common: frozenset[Vertex] | None = None
+        for vertex in part_one:
+            neighborhood = neighborhoods[vertex]
+            common = neighborhood if common is None else common & neighborhood
+            if len(common) < k:
+                break
+        if common is not None and len(common) >= k:
+            part_two = frozenset(sorted(common, key=repr)[:k])
+            return frozenset(part_one), part_two
+    return None
+
+
+def has_balanced_biclique(graph: Graph, k: int) -> bool:
+    """Decide BCBS by exhaustive search (exponential; test/bench scale only)."""
+    return find_balanced_biclique(graph, k) is not None
+
+
+def max_balanced_biclique(graph: Graph) -> int:
+    """The largest *k* with a balanced k×k biclique (0 for edgeless graphs)."""
+    best = 0
+    k = 1
+    while k <= graph.vertex_count // 2:
+        if not has_balanced_biclique(graph, k):
+            break
+        best = k
+        k += 1
+    return best
+
+
+def complete_bipartite_graph(left: int, right: int) -> Graph:
+    """``K_{left,right}`` with vertices ``('u', i)`` and ``('v', j)``."""
+    edges = [
+        (("u", i), ("v", j)) for i in range(left) for j in range(right)
+    ]
+    vertices = [("u", i) for i in range(left)] + [("v", j) for j in range(right)]
+    return Graph.from_edges(edges, vertices)

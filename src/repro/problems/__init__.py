@@ -1,0 +1,81 @@
+"""The three unified problems: PQE, Bag-Set Maximization, Shapley values."""
+
+from repro.problems.bagset_max import (
+    BagSetInstance,
+    decide,
+    maximize,
+    maximize_brute_force,
+    maximize_greedy,
+    maximize_profile,
+    maximize_via_lineage,
+    optimal_repair,
+)
+from repro.problems.expected_count import (
+    expected_answer_count,
+    expected_answer_count_brute_force,
+    expected_answer_count_direct,
+)
+from repro.problems.resilience import (
+    ResilienceInstance,
+    contingency_set,
+    resilience,
+    resilience_brute_force,
+    resilience_of_database,
+    resilience_via_lineage,
+)
+from repro.problems.possible_worlds import ProbabilisticDatabase
+from repro.problems.pqe import (
+    marginal_probability,
+    marginal_probability_brute_force,
+    marginal_probability_via_lineage,
+)
+from repro.problems.shapley import (
+    ShapleyInstance,
+    banzhaf_value,
+    banzhaf_value_brute_force,
+    efficiency_gap,
+    sat_counts,
+    sat_counts_brute_force,
+    sat_counts_via_lineage,
+    sat_vector,
+    shapley_value,
+    shapley_value_by_permutations,
+    shapley_value_monte_carlo,
+    shapley_values,
+)
+
+__all__ = [
+    "BagSetInstance",
+    "ProbabilisticDatabase",
+    "ResilienceInstance",
+    "ShapleyInstance",
+    "banzhaf_value",
+    "banzhaf_value_brute_force",
+    "contingency_set",
+    "decide",
+    "efficiency_gap",
+    "expected_answer_count",
+    "expected_answer_count_brute_force",
+    "expected_answer_count_direct",
+    "marginal_probability",
+    "marginal_probability_brute_force",
+    "marginal_probability_via_lineage",
+    "maximize",
+    "maximize_brute_force",
+    "maximize_greedy",
+    "maximize_profile",
+    "maximize_via_lineage",
+    "optimal_repair",
+    "resilience",
+    "resilience_brute_force",
+    "resilience_of_database",
+    "resilience_via_lineage",
+    "sat_counts",
+    "sat_counts_brute_force",
+    "sat_counts_via_lineage",
+    "sat_vector",
+    "shapley_value",
+    "shapley_value_by_permutations",
+    "shapley_value_monte_carlo",
+    "shapley_values",
+]

@@ -1,0 +1,73 @@
+"""Expected answer count over a tuple-independent probabilistic database.
+
+``E[Q(D)]`` — the expected number of satisfying assignments under possible-
+world semantics — decomposes by linearity of expectation into a sum over
+potential assignments of the product of their facts' probabilities.  That is
+exactly evaluation in the (distributive!) real semiring ``(R≥0, +, ×)``
+with probability annotations.
+
+This module exists as the library's running contrast to the paper's point:
+swap the 2-monoid from Definition 5.7 (``⊕ = disjoint-or``) to the real
+semiring (``⊕ = +``) and the same Algorithm 1 run computes the *expectation*
+instead of the *probability* — and because the semiring distributes, the
+expectation is tractable even for non-hierarchical acyclic queries, while
+the probability is #P-hard for them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra.real import Real, RealSemiring
+from repro.core.algorithm import evaluate_hierarchical
+from repro.db.evaluation import count_satisfying_assignments, satisfying_assignments
+from repro.problems.possible_worlds import ProbabilisticDatabase
+from repro.query.bcq import BCQ
+
+
+def expected_answer_count(
+    query: BCQ, database: ProbabilisticDatabase, exact: bool = False
+) -> Real:
+    """``E[Q(D)]`` via Algorithm 1 over the real semiring (hierarchical Q)."""
+    source = database.as_exact() if exact else database
+    semiring = RealSemiring(exact=exact)
+    return evaluate_hierarchical(
+        query,
+        semiring,
+        source.facts(),
+        lambda fact: semiring.validate(source.probability(fact)),
+    )
+
+
+def expected_answer_count_direct(
+    query: BCQ, database: ProbabilisticDatabase, exact: bool = False
+) -> Real:
+    """``E[Q(D)]`` by summing over potential assignments (any SJF-BCQ).
+
+    Works for arbitrary (even non-hierarchical) queries; used both as the
+    cross-check baseline and as the evaluator in the semiring-vs-2-monoid
+    demonstrations.
+    """
+    source = database.as_exact() if exact else database
+    support = source.support_database()
+    total: Real = Fraction(0) if exact else 0.0
+    for assignment in satisfying_assignments(query, support):
+        product: Real = Fraction(1) if exact else 1.0
+        for atom in query.atoms:
+            values = tuple(assignment[v] for v in atom.variables)
+            from repro.db.fact import Fact
+
+            product *= source.probability(Fact(atom.relation, values))
+        total += product
+    return total
+
+
+def expected_answer_count_brute_force(
+    query: BCQ, database: ProbabilisticDatabase, exact: bool = False
+) -> Real:
+    """``E[Q(D)]`` by full possible-world enumeration (exponential baseline)."""
+    source = database.as_exact() if exact else database
+    total: Real = Fraction(0) if exact else 0.0
+    for world, probability in source.possible_worlds():
+        total += probability * count_satisfying_assignments(query, world)
+    return total

@@ -1,0 +1,101 @@
+"""Tuple-independent probabilistic databases and their possible worlds.
+
+A tuple-independent probabilistic database (TID) assigns each fact an
+independent probability of being present.  A *possible world* is a subset of
+the facts; its probability is the product of the chosen facts' probabilities
+and the complements of the omitted ones.  Enumeration is exponential and
+exists purely as the brute-force baseline for experiment E3.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.exceptions import AlgebraError
+
+Probability = float | Fraction
+
+
+class ProbabilisticDatabase:
+    """A tuple-independent probabilistic database.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping from facts to their (independent) marginal probabilities.
+    """
+
+    def __init__(self, probabilities: Mapping[Fact, Probability]):
+        self._probabilities: dict[Fact, Probability] = {}
+        for fact, probability in probabilities.items():
+            if not 0 <= probability <= 1:
+                raise AlgebraError(
+                    f"fact {fact} has invalid probability {probability!r}"
+                )
+            self._probabilities[fact] = probability
+
+    @classmethod
+    def uniform(cls, facts: Iterable[Fact], probability: Probability) -> "ProbabilisticDatabase":
+        """All facts share one probability (common benchmark workload)."""
+        return cls({fact: probability for fact in facts})
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def probability(self, fact: Fact) -> Probability:
+        """Marginal probability of *fact* (0 for unknown facts)."""
+        return self._probabilities.get(fact, 0)
+
+    def facts(self) -> tuple[Fact, ...]:
+        return tuple(sorted(self._probabilities, key=repr))
+
+    def support_database(self) -> Database:
+        """The deterministic database containing every possible fact."""
+        return Database(self._probabilities)
+
+    def as_exact(self) -> "ProbabilisticDatabase":
+        """Convert all probabilities to :class:`fractions.Fraction`."""
+        return ProbabilisticDatabase(
+            {
+                fact: probability
+                if isinstance(probability, Fraction)
+                else Fraction(probability).limit_denominator(10**12)
+                for fact, probability in self._probabilities.items()
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    # ------------------------------------------------------------------
+    # Possible worlds (exponential; baseline only)
+    # ------------------------------------------------------------------
+    def possible_worlds(self) -> Iterator[tuple[Database, Probability]]:
+        """Enumerate all ``2^n`` worlds with their probabilities."""
+        facts = self.facts()
+
+        def worlds(
+            index: int, chosen: list[Fact], probability: Probability
+        ) -> Iterator[tuple[Database, Probability]]:
+            if index == len(facts):
+                yield Database(chosen), probability
+                return
+            fact = facts[index]
+            p = self._probabilities[fact]
+            if p != 0:
+                chosen.append(fact)
+                yield from worlds(index + 1, chosen, probability * p)
+                chosen.pop()
+            complement = 1 - p
+            if complement != 0:
+                yield from worlds(index + 1, chosen, probability * complement)
+
+        one: Probability = (
+            Fraction(1)
+            if any(isinstance(p, Fraction) for p in self._probabilities.values())
+            else 1.0
+        )
+        yield from worlds(0, [], one)

@@ -1,0 +1,92 @@
+"""Query model: atoms, SJF-BCQs, the hierarchical property, and elimination.
+
+Public surface:
+
+* :class:`~repro.query.atoms.Atom`, :class:`~repro.query.bcq.BCQ`,
+  :func:`~repro.query.bcq.make_query`, :func:`~repro.query.parser.parse_query`
+* :func:`~repro.query.hierarchy.is_hierarchical` (pairwise definition),
+  :func:`~repro.query.elimination.eliminate` (Proposition 5.1 procedure),
+  :func:`~repro.query.tree.build_variable_forest` (Proposition 5.5 trees)
+* :func:`~repro.query.gyo.is_acyclic` (GYO, for the acyclic-vs-hierarchical gap)
+* query families in :mod:`repro.query.families`
+"""
+
+from repro.query.atoms import Atom, Variable, make_atom
+from repro.query.bcq import BCQ, make_query
+from repro.query.components import connected_components, is_connected
+from repro.query.elimination import (
+    EliminationTrace,
+    Rule1Step,
+    Rule2Step,
+    apply_step,
+    eliminate,
+    is_hierarchical_by_elimination,
+    make_random_policy,
+)
+from repro.query.families import (
+    chain_query,
+    forest_query,
+    q_disconnected,
+    q_eq1,
+    q_example_53,
+    q_h,
+    q_nh,
+    random_hierarchical_query,
+    random_query,
+    star_query,
+    telescope_query,
+)
+from repro.query.gyo import is_acyclic
+from repro.query.hierarchy import (
+    NonHierarchicalWitness,
+    atom_sets,
+    find_non_hierarchical_witness,
+    is_hierarchical,
+)
+from repro.query.parser import parse_query
+from repro.query.tree import (
+    VariableForest,
+    VariableTree,
+    build_variable_forest,
+    is_hierarchical_by_tree,
+    verify_variable_tree,
+)
+
+__all__ = [
+    "Atom",
+    "BCQ",
+    "EliminationTrace",
+    "NonHierarchicalWitness",
+    "Rule1Step",
+    "Rule2Step",
+    "Variable",
+    "VariableForest",
+    "VariableTree",
+    "apply_step",
+    "atom_sets",
+    "build_variable_forest",
+    "chain_query",
+    "connected_components",
+    "eliminate",
+    "find_non_hierarchical_witness",
+    "forest_query",
+    "is_acyclic",
+    "is_connected",
+    "is_hierarchical",
+    "is_hierarchical_by_elimination",
+    "is_hierarchical_by_tree",
+    "make_atom",
+    "make_query",
+    "make_random_policy",
+    "parse_query",
+    "q_disconnected",
+    "q_eq1",
+    "q_example_53",
+    "q_h",
+    "q_nh",
+    "random_hierarchical_query",
+    "random_query",
+    "star_query",
+    "telescope_query",
+    "verify_variable_tree",
+]

@@ -1,0 +1,91 @@
+"""Atoms of conjunctive queries.
+
+An atom is an expression ``R(X1, ..., Xk)`` where ``R`` is a relation symbol
+and ``X1, ..., Xk`` are *distinct* variables.  The paper treats the variables
+of an atom as a set; we store them as an ordered tuple (so facts can be plain
+value tuples aligned positionally) and expose the set view through
+:attr:`Atom.variable_set`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import QueryError
+
+Variable = str
+"""Variables are plain strings; by convention they start with a capital letter."""
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A query atom ``relation(variables...)`` with pairwise-distinct variables.
+
+    Parameters
+    ----------
+    relation:
+        The relation symbol, e.g. ``"R"``.
+    variables:
+        Ordered tuple of distinct variable names.
+    """
+
+    relation: str
+    variables: tuple[Variable, ...]
+    _variable_set: frozenset[Variable] = field(
+        init=False, repr=False, compare=False, hash=False, default=frozenset()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise QueryError("atom relation symbol must be a non-empty string")
+        variables = tuple(self.variables)
+        if len(set(variables)) != len(variables):
+            raise QueryError(
+                f"atom {self.relation}{variables} repeats a variable; "
+                "atoms must have pairwise-distinct variables"
+            )
+        object.__setattr__(self, "variables", variables)
+        object.__setattr__(self, "_variable_set", frozenset(variables))
+
+    @property
+    def arity(self) -> int:
+        """Number of variables in the atom."""
+        return len(self.variables)
+
+    @property
+    def variable_set(self) -> frozenset[Variable]:
+        """The paper's set-of-variables view of the atom."""
+        return self._variable_set
+
+    @property
+    def is_nullary(self) -> bool:
+        """True when the atom has no variables, i.e. it is of the form ``R()``."""
+        return not self.variables
+
+    def contains(self, variable: Variable) -> bool:
+        """Return True when *variable* occurs in this atom."""
+        return variable in self._variable_set
+
+    def without(self, variable: Variable, new_relation: str) -> Atom:
+        """Return a copy named *new_relation* with *variable* removed.
+
+        This is the atom-level effect of Rule 1 of the elimination procedure
+        (Proposition 5.1).
+        """
+        if variable not in self._variable_set:
+            raise QueryError(f"variable {variable} does not occur in {self}")
+        remaining = tuple(v for v in self.variables if v != variable)
+        return Atom(new_relation, remaining)
+
+    def renamed(self, new_relation: str) -> Atom:
+        """Return a copy of this atom under a new relation symbol."""
+        return Atom(new_relation, self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+def make_atom(relation: str, variables: Iterable[Variable]) -> Atom:
+    """Convenience constructor accepting any iterable of variables."""
+    return Atom(relation, tuple(variables))

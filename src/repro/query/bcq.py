@@ -1,0 +1,152 @@
+"""Boolean conjunctive queries (BCQs) and self-join-free BCQs (SJF-BCQs).
+
+A BCQ has the form ``Q() :- R1(X1), ..., Rm(Xm)`` (existential quantifiers are
+suppressed, as in the paper).  A BCQ is *self-join-free* when no two atoms
+share a relation symbol.  Everything in the paper — and almost everything in
+this library — is about SJF-BCQs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import NotSelfJoinFreeError, QueryError
+from repro.query.atoms import Atom, Variable
+
+
+@dataclass(frozen=True)
+class BCQ:
+    """A Boolean conjunctive query over a tuple of atoms.
+
+    Parameters
+    ----------
+    atoms:
+        The atoms of the query body, in a fixed (but semantically irrelevant)
+        order.
+    name:
+        Cosmetic head name used in ``str()`` output; defaults to ``"Q"``.
+    """
+
+    atoms: tuple[Atom, ...]
+    name: str = "Q"
+    _atoms_by_relation: dict[str, Atom] = field(
+        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        atoms = tuple(self.atoms)
+        if not atoms:
+            raise QueryError("a BCQ must have at least one atom")
+        object.__setattr__(self, "atoms", atoms)
+        by_relation: dict[str, Atom] = {}
+        for atom in atoms:
+            by_relation.setdefault(atom.relation, atom)
+        object.__setattr__(self, "_atoms_by_relation", by_relation)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[Variable]:
+        """``vars(Q)``: the set of all variables occurring in the query."""
+        return frozenset(v for atom in self.atoms for v in atom.variables)
+
+    @property
+    def relation_symbols(self) -> tuple[str, ...]:
+        """Relation symbols in atom order (with duplicates, if any)."""
+        return tuple(atom.relation for atom in self.atoms)
+
+    @property
+    def is_self_join_free(self) -> bool:
+        """True when no two atoms share a relation symbol."""
+        return len(set(self.relation_symbols)) == len(self.atoms)
+
+    @property
+    def is_boolean_true_form(self) -> bool:
+        """True when the query has the terminal form ``Q() :- R()``."""
+        return len(self.atoms) == 1 and self.atoms[0].is_nullary
+
+    def atoms_with(self, variable: Variable) -> tuple[Atom, ...]:
+        """``at(Y)``: the atoms of the query in which *variable* occurs."""
+        return tuple(atom for atom in self.atoms if atom.contains(variable))
+
+    def atom_for(self, relation: str) -> Atom:
+        """Return the (unique, for SJF queries) atom of a relation symbol."""
+        try:
+            return self._atoms_by_relation[relation]
+        except KeyError:
+            raise QueryError(f"query has no atom over relation {relation!r}") from None
+
+    def require_self_join_free(self) -> None:
+        """Raise :class:`NotSelfJoinFreeError` unless the query is SJF."""
+        if not self.is_self_join_free:
+            seen: set[str] = set()
+            duplicated = sorted(
+                {r for r in self.relation_symbols if r in seen or seen.add(r)}
+            )
+            raise NotSelfJoinFreeError(
+                f"query {self} repeats relation symbol(s) {duplicated}"
+            )
+
+    # ------------------------------------------------------------------
+    # Rewriting (used by the elimination procedure)
+    # ------------------------------------------------------------------
+    def replace_atom(self, old: Atom, new: Atom) -> BCQ:
+        """Return the query with the single atom *old* replaced by *new*."""
+        if old not in self.atoms:
+            raise QueryError(f"atom {old} is not part of {self}")
+        atoms = tuple(new if atom == old else atom for atom in self.atoms)
+        return BCQ(atoms, self.name)
+
+    def merge_atoms(self, first: Atom, second: Atom, new: Atom) -> BCQ:
+        """Return the query with *first* and *second* replaced by one atom *new*.
+
+        This is the query-level effect of Rule 2 of the elimination procedure:
+        only a single copy of *new* is added, keeping the query self-join-free
+        (footnote 4 of the paper).
+        """
+        if first not in self.atoms or second not in self.atoms:
+            raise QueryError(f"atoms {first}, {second} are not both part of {self}")
+        if first == second:
+            raise QueryError("merge_atoms requires two distinct atoms")
+        atoms: list[Atom] = []
+        replaced = False
+        for atom in self.atoms:
+            if atom == first:
+                atoms.append(new)
+                replaced = True
+            elif atom == second:
+                continue
+            else:
+                atoms.append(atom)
+        assert replaced
+        return BCQ(tuple(atoms), self.name)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(str(atom) for atom in self.atoms)
+        return f"{self.name}() :- {body}"
+
+
+def make_query(
+    atom_specs: Iterable[tuple[str, Iterable[Variable]]], name: str = "Q"
+) -> BCQ:
+    """Build a BCQ from ``(relation, variables)`` pairs.
+
+    Example
+    -------
+    >>> q = make_query([("R", "AB"), ("S", "AC")])
+    >>> str(q)
+    'Q() :- R(A, B) ∧ S(A, C)'
+    """
+    atoms = tuple(Atom(relation, tuple(variables)) for relation, variables in atom_specs)
+    return BCQ(atoms, name)

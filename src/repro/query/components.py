@@ -1,0 +1,56 @@
+"""Connected components of conjunctive queries.
+
+Two atoms are *connected* when they share a variable, or transitively through
+other atoms (Section 5.1 of the paper).  The connected components of a query
+``Q`` are the unique connected sub-queries ``Q1 ∧ ... ∧ Qm`` with pairwise
+disjoint variable sets.  Variable-free atoms each form their own component.
+"""
+
+from __future__ import annotations
+
+from repro.query.atoms import Atom
+from repro.query.bcq import BCQ
+
+
+def connected_components(query: BCQ) -> tuple[BCQ, ...]:
+    """Split *query* into its connected components, preserving atom order.
+
+    Nullary atoms share no variables with anything and therefore form
+    singleton components.
+    """
+    parent: dict[int, int] = {i: i for i in range(len(query.atoms))}
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    owner: dict[str, int] = {}
+    for index, atom in enumerate(query.atoms):
+        for variable in atom.variables:
+            if variable in owner:
+                union(owner[variable], index)
+            else:
+                owner[variable] = index
+
+    groups: dict[int, list[Atom]] = {}
+    for index, atom in enumerate(query.atoms):
+        groups.setdefault(find(index), []).append(atom)
+    ordered_roots = sorted(groups, key=lambda root: min(
+        i for i, a in enumerate(query.atoms) if a in groups[root]
+    ))
+    return tuple(
+        BCQ(tuple(groups[root]), f"{query.name}_{k}")
+        for k, root in enumerate(ordered_roots)
+    )
+
+
+def is_connected(query: BCQ) -> bool:
+    """True when every pair of atoms in *query* is connected."""
+    return len(connected_components(query)) == 1

@@ -1,0 +1,240 @@
+"""The elimination procedure for hierarchical queries (Proposition 5.1).
+
+A SJF-BCQ is hierarchical if and only if repeatedly applying the two rules
+below reduces it to a single nullary atom ``Q() :- R()``:
+
+* **Rule 1** — a variable ``Y`` occurring in exactly one atom ``R(X)`` is
+  projected away: ``R(X)`` becomes ``R'(X \\ {Y})``.
+* **Rule 2** — two distinct atoms ``R1(X)`` and ``R2(X)`` over the *same*
+  variable set are merged into a single fresh atom ``R'(X)``.
+
+The procedure mirrors GYO elimination for acyclic queries, with a stricter
+Rule 2 (equality of variable sets instead of containment).  Algorithm 1 of the
+paper executes exactly this trace, replacing Rule 1 with a ⊕-aggregation and
+Rule 2 with a ⊗-join over a 2-monoid; the trace objects produced here are
+therefore the "query plans" of the whole library.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterator, Union
+
+from repro.exceptions import NotHierarchicalError, QueryError
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+
+
+@dataclass(frozen=True)
+class Rule1Step:
+    """Project the private variable *variable* out of *source*, yielding *target*.
+
+    ``target.variables`` is ``source.variables`` with *variable* removed and
+    order otherwise preserved.
+    """
+
+    source: Atom
+    variable: Variable
+    target: Atom
+
+    def __str__(self) -> str:
+        return f"Rule1: {self.source} --[⊕ over {self.variable}]--> {self.target}"
+
+
+@dataclass(frozen=True)
+class Rule2Step:
+    """Merge duplicate-variable-set atoms *first* and *second* into *target*.
+
+    The two source atoms share the same variable *set* but may list the
+    variables in different orders; *target* uses the order of *first*.
+    """
+
+    first: Atom
+    second: Atom
+    target: Atom
+
+    def __str__(self) -> str:
+        return f"Rule2: {self.first} ⊗ {self.second} --> {self.target}"
+
+
+EliminationStep = Union[Rule1Step, Rule2Step]
+
+Policy = Callable[[list[Rule1Step], list[Rule2Step]], EliminationStep]
+"""A policy picks the next step among the currently applicable ones."""
+
+
+@dataclass(frozen=True)
+class EliminationTrace:
+    """The full record of an elimination run.
+
+    Attributes
+    ----------
+    query:
+        The original query.
+    steps:
+        The steps applied, in order.
+    final_query:
+        The query left when no rule applies (``Q() :- R()`` on success).
+    success:
+        True iff the procedure reduced the query to a single nullary atom —
+        equivalently (Proposition 5.1), iff the query is hierarchical.
+    """
+
+    query: BCQ
+    steps: tuple[EliminationStep, ...]
+    final_query: BCQ
+    success: bool
+
+    @property
+    def final_relation(self) -> str:
+        """Relation symbol of the terminal nullary atom (successful runs only)."""
+        if not self.success:
+            raise NotHierarchicalError(
+                f"elimination of {self.query} got stuck at {self.final_query}"
+            )
+        return self.final_query.atoms[0].relation
+
+    def intermediate_queries(self) -> Iterator[BCQ]:
+        """Yield the query after each step (ending with :attr:`final_query`)."""
+        current = self.query
+        for step in self.steps:
+            current = apply_step(current, step)
+            yield current
+
+    def __str__(self) -> str:
+        lines = [str(self.query)]
+        current = self.query
+        for step in self.steps:
+            current = apply_step(current, step)
+            rule = "Rule 1" if isinstance(step, Rule1Step) else "Rule 2"
+            lines.append(f"  ({rule}) {current}")
+        lines.append("  (Done!)" if self.success else "  (Stuck!)")
+        return "\n".join(lines)
+
+
+def applicable_rule1_steps(query: BCQ, fresh: "_FreshNames") -> list[Rule1Step]:
+    """All Rule 1 moves currently applicable to *query*."""
+    occurrences: dict[Variable, list[Atom]] = {}
+    for atom in query.atoms:
+        for variable in atom.variables:
+            occurrences.setdefault(variable, []).append(atom)
+    steps = []
+    for variable in sorted(occurrences):
+        atoms = occurrences[variable]
+        if len(atoms) == 1:
+            source = atoms[0]
+            target = source.without(variable, fresh.derive(source.relation))
+            steps.append(Rule1Step(source=source, variable=variable, target=target))
+    return steps
+
+
+def applicable_rule2_steps(query: BCQ, fresh: "_FreshNames") -> list[Rule2Step]:
+    """All Rule 2 moves currently applicable to *query*."""
+    steps = []
+    for first, second in combinations(query.atoms, 2):
+        if first.variable_set == second.variable_set:
+            target = first.renamed(fresh.derive(first.relation))
+            steps.append(Rule2Step(first=first, second=second, target=target))
+    return steps
+
+
+def apply_step(query: BCQ, step: EliminationStep) -> BCQ:
+    """Apply a single elimination step to *query* and return the new query."""
+    if isinstance(step, Rule1Step):
+        return query.replace_atom(step.source, step.target)
+    if isinstance(step, Rule2Step):
+        return query.merge_atoms(step.first, step.second, step.target)
+    raise QueryError(f"unknown elimination step {step!r}")
+
+
+class _FreshNames:
+    """Generates fresh relation symbols by priming existing names (R → R')."""
+
+    def __init__(self, used: set[str]) -> None:
+        self._used = set(used)
+
+    def derive(self, base: str) -> str:
+        candidate = base + "'"
+        while candidate in self._used:
+            candidate += "'"
+        self._used.add(candidate)
+        return candidate
+
+
+def _policy_rule1_first(r1: list[Rule1Step], r2: list[Rule2Step]) -> EliminationStep:
+    return r1[0] if r1 else r2[0]
+
+
+def _policy_rule2_first(r1: list[Rule1Step], r2: list[Rule2Step]) -> EliminationStep:
+    return r2[0] if r2 else r1[0]
+
+
+def make_random_policy(seed: int = 0) -> Policy:
+    """A policy choosing uniformly among all applicable steps (for E10)."""
+    rng = random.Random(seed)
+
+    def pick(r1: list[Rule1Step], r2: list[Rule2Step]) -> EliminationStep:
+        candidates: list[EliminationStep] = [*r1, *r2]
+        return rng.choice(candidates)
+
+    return pick
+
+
+POLICIES: dict[str, Policy] = {
+    "rule1_first": _policy_rule1_first,
+    "rule2_first": _policy_rule2_first,
+}
+
+
+def eliminate(query: BCQ, policy: Policy | str = "rule1_first") -> EliminationTrace:
+    """Run the elimination procedure of Proposition 5.1 on *query*.
+
+    Parameters
+    ----------
+    query:
+        A SJF-BCQ (self-join-freeness is enforced).
+    policy:
+        Which applicable step to take when several exist.  All policies reach
+        the same success/failure verdict (Proposition 5.1); they may produce
+        different traces, which experiment E10 ablates.
+
+    Returns
+    -------
+    EliminationTrace
+        With ``success=True`` iff *query* is hierarchical.
+    """
+    query.require_self_join_free()
+    if isinstance(policy, str):
+        try:
+            policy_fn = POLICIES[policy]
+        except KeyError:
+            raise QueryError(
+                f"unknown elimination policy {policy!r}; "
+                f"expected one of {sorted(POLICIES)}"
+            ) from None
+    else:
+        policy_fn = policy
+
+    fresh = _FreshNames({atom.relation for atom in query.atoms})
+    current = query
+    steps: list[EliminationStep] = []
+    while not current.is_boolean_true_form:
+        rule1 = applicable_rule1_steps(current, fresh)
+        rule2 = applicable_rule2_steps(current, fresh)
+        if not rule1 and not rule2:
+            return EliminationTrace(query, tuple(steps), current, success=False)
+        step = policy_fn(rule1, rule2)
+        steps.append(step)
+        current = apply_step(current, step)
+    return EliminationTrace(query, tuple(steps), current, success=True)
+
+
+def is_hierarchical_by_elimination(query: BCQ) -> bool:
+    """Decide the hierarchical property via the elimination procedure.
+
+    Property tests check this agrees with the pairwise ``at``-set definition
+    in :mod:`repro.query.hierarchy` on random queries.
+    """
+    return eliminate(query).success

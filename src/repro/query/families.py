@@ -1,0 +1,146 @@
+"""Query families: the paper's named queries plus parameterized generators.
+
+These are the workloads of the benchmark suite.  Hierarchical families (stars,
+telescopes, forests) drive the tractable-side scaling experiments; ``q_nh``
+drives the hardness experiments; the random generators drive the property
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+
+
+def q_eq1() -> BCQ:
+    """The running-example query of Eq. (1): ``Q() :- R(A,B) ∧ S(A,C) ∧ T(A,C,D)``."""
+    return BCQ(
+        (
+            Atom("R", ("A", "B")),
+            Atom("S", ("A", "C")),
+            Atom("T", ("A", "C", "D")),
+        )
+    )
+
+
+def q_h() -> BCQ:
+    """The paper's hierarchical example: ``Q() :- E(X,Y) ∧ F(Y,Z)``."""
+    return BCQ((Atom("E", ("X", "Y")), Atom("F", ("Y", "Z"))))
+
+
+def q_nh() -> BCQ:
+    """The canonical non-hierarchical query: ``Q() :- R(X) ∧ S(X,Y) ∧ T(Y)``."""
+    return BCQ((Atom("R", ("X",)), Atom("S", ("X", "Y")), Atom("T", ("Y",))))
+
+
+def q_disconnected() -> BCQ:
+    """Example 5.4: the disconnected hierarchical query ``Q() :- R(A) ∧ S(B)``."""
+    return BCQ((Atom("R", ("A",)), Atom("S", ("B",))))
+
+
+def q_example_53() -> BCQ:
+    """Example 5.3: the non-hierarchical chain ``R(A,B) ∧ S(B,C) ∧ T(C,D)``."""
+    return BCQ(
+        (Atom("R", ("A", "B")), Atom("S", ("B", "C")), Atom("T", ("C", "D")))
+    )
+
+
+def star_query(branches: int) -> BCQ:
+    """``Q() :- R1(X,Y1) ∧ ... ∧ Rk(X,Yk)`` — hierarchical for every k ≥ 1."""
+    if branches < 1:
+        raise ValueError("a star query needs at least one branch")
+    atoms = tuple(
+        Atom(f"R{i}", ("X", f"Y{i}")) for i in range(1, branches + 1)
+    )
+    return BCQ(atoms)
+
+
+def telescope_query(depth: int) -> BCQ:
+    """``Q() :- R1(X1) ∧ R2(X1,X2) ∧ ... ∧ Rd(X1..Xd)`` — a maximal hierarchy chain."""
+    if depth < 1:
+        raise ValueError("a telescope query needs depth at least 1")
+    atoms = tuple(
+        Atom(f"R{i}", tuple(f"X{j}" for j in range(1, i + 1)))
+        for i in range(1, depth + 1)
+    )
+    return BCQ(atoms)
+
+
+def chain_query(length: int) -> BCQ:
+    """``Q() :- R1(X1,X2) ∧ ... ∧ Rk(Xk,Xk+1)`` — non-hierarchical for k ≥ 3."""
+    if length < 1:
+        raise ValueError("a chain query needs at least one atom")
+    atoms = tuple(
+        Atom(f"R{i}", (f"X{i}", f"X{i + 1}")) for i in range(1, length + 1)
+    )
+    return BCQ(atoms)
+
+
+def forest_query(stars: int, branches: int) -> BCQ:
+    """A disconnected hierarchical query: *stars* disjoint stars of *branches* arms."""
+    atoms: list[Atom] = []
+    for s in range(1, stars + 1):
+        for b in range(1, branches + 1):
+            atoms.append(Atom(f"R{s}_{b}", (f"X{s}", f"Y{s}_{b}")))
+    return BCQ(tuple(atoms))
+
+
+def random_hierarchical_query(
+    rng: random.Random,
+    max_variables: int = 6,
+    max_atoms: int = 6,
+) -> BCQ:
+    """Sample a hierarchical SJF-BCQ by sampling a random variable tree.
+
+    The construction is the converse of Proposition 5.5: build a random rooted
+    forest on a variable pool, then emit one atom per sampled root-path.  The
+    result is hierarchical by construction (and tests verify this against all
+    three hierarchicality tests).
+    """
+    n_vars = rng.randint(1, max_variables)
+    variables: list[Variable] = [f"V{i}" for i in range(n_vars)]
+    parent: dict[Variable, Variable | None] = {}
+    roots: list[Variable] = []
+    for index, variable in enumerate(variables):
+        if index == 0 or rng.random() < 0.25:
+            parent[variable] = None
+            roots.append(variable)
+        else:
+            parent[variable] = variables[rng.randrange(index)]
+
+    def root_path(variable: Variable) -> tuple[Variable, ...]:
+        path = [variable]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])  # type: ignore[arg-type]
+        return tuple(path)
+
+    n_atoms = rng.randint(1, max_atoms)
+    atoms: list[Atom] = []
+    # Ensure every variable is used by covering each leaf's root-path first.
+    leaves = [v for v in variables if v not in set(parent.values())]
+    picks = leaves + [rng.choice(variables) for _ in range(max(0, n_atoms - len(leaves)))]
+    for index, pick in enumerate(picks):
+        atoms.append(Atom(f"A{index}", root_path(pick)))
+    if rng.random() < 0.3:
+        atoms.append(Atom("NULL0", ()))
+    return BCQ(tuple(atoms))
+
+
+def random_query(
+    rng: random.Random,
+    max_variables: int = 5,
+    max_atoms: int = 5,
+    max_arity: int = 3,
+) -> BCQ:
+    """Sample an arbitrary SJF-BCQ (hierarchical or not) for property tests."""
+    n_vars = rng.randint(1, max_variables)
+    variables = [f"V{i}" for i in range(n_vars)]
+    n_atoms = rng.randint(1, max_atoms)
+    atoms = []
+    for index in range(n_atoms):
+        arity = rng.randint(0, min(max_arity, n_vars))
+        atom_vars = tuple(rng.sample(variables, arity))
+        atoms.append(Atom(f"A{index}", atom_vars))
+    return BCQ(tuple(atoms))

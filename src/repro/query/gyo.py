@@ -1,0 +1,52 @@
+"""GYO elimination and acyclicity of conjunctive queries.
+
+The paper contrasts its elimination procedure (Proposition 5.1) with the
+classical GYO procedure for *acyclic* queries: GYO's Rule 2 merges an atom
+into any atom whose variables *contain* it, whereas the hierarchical
+procedure requires *equality* of variable sets.  Consequently every
+hierarchical query is acyclic but not vice versa (``q_nh`` is acyclic and not
+hierarchical).  We implement GYO so tests and benchmarks can exhibit this
+strict inclusion.
+"""
+
+from __future__ import annotations
+
+from repro.query.bcq import BCQ
+
+
+def is_acyclic(query: BCQ) -> bool:
+    """Decide α-acyclicity of *query* via GYO ear removal.
+
+    The classical loop: repeatedly (a) drop variables occurring in a single
+    hyperedge, and (b) drop hyperedges contained in another hyperedge, until
+    fixpoint.  The query is acyclic iff at most one (possibly empty)
+    hyperedge remains.
+    """
+    edges = [set(atom.variable_set) for atom in query.atoms]
+    changed = True
+    while changed:
+        changed = False
+        # (a) remove variables private to one edge
+        counts: dict[str, int] = {}
+        for edge in edges:
+            for variable in edge:
+                counts[variable] = counts.get(variable, 0) + 1
+        for edge in edges:
+            private = {v for v in edge if counts[v] == 1}
+            if private:
+                edge -= private
+                changed = True
+        # (b) remove edges contained in another edge
+        survivors: list[set[str]] = []
+        for i, edge in enumerate(edges):
+            absorbed = any(
+                (edge <= other and (edge != other or i > j))
+                for j, other in enumerate(edges)
+                if i != j
+            )
+            if absorbed:
+                changed = True
+            else:
+                survivors.append(edge)
+        edges = survivors
+    return len(edges) <= 1

@@ -1,0 +1,89 @@
+"""The hierarchical property of SJF-BCQs.
+
+A SJF-BCQ ``Q`` is *hierarchical* when for every two variables ``X`` and ``Y``
+one of the following holds (introduction of the paper):
+
+1. ``at(X) ⊆ at(Y)``,
+2. ``at(Y) ⊆ at(X)``, or
+3. ``at(X) ∩ at(Y) = ∅``,
+
+where ``at(Z)`` is the set of atoms of ``Q`` containing ``Z``.  Hierarchical
+queries define the tractability boundary for all three problems the paper
+unifies.  Non-hierarchical queries always contain the forbidden pattern
+``R(A, X...), S(A, B, Y...), T(B, Z...)`` with ``A ∉ vars(T)`` and
+``B ∉ vars(R)``; :func:`find_non_hierarchical_witness` extracts it, which the
+hardness reduction of Theorem 4.4 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+
+
+@dataclass(frozen=True)
+class NonHierarchicalWitness:
+    """The forbidden pattern witnessing non-hierarchicality.
+
+    Attributes
+    ----------
+    variable_a, variable_b:
+        The two crossing variables (``A`` and ``B`` in Theorem 4.4).
+    atom_r:
+        An atom containing ``A`` but not ``B``.
+    atom_s:
+        An atom containing both ``A`` and ``B``.
+    atom_t:
+        An atom containing ``B`` but not ``A``.
+    """
+
+    variable_a: Variable
+    variable_b: Variable
+    atom_r: Atom
+    atom_s: Atom
+    atom_t: Atom
+
+
+def atom_sets(query: BCQ) -> dict[Variable, frozenset[Atom]]:
+    """Return ``at(X)`` for every variable ``X`` of *query*."""
+    result: dict[Variable, set[Atom]] = {}
+    for atom in query.atoms:
+        for variable in atom.variables:
+            result.setdefault(variable, set()).add(atom)
+    return {variable: frozenset(atoms) for variable, atoms in result.items()}
+
+
+def find_non_hierarchical_witness(query: BCQ) -> NonHierarchicalWitness | None:
+    """Return a witness of non-hierarchicality, or None if *query* is hierarchical.
+
+    The witness is the pattern used by the NP-hardness reduction of
+    Theorem 4.4: two variables ``A, B`` and three atoms ``R, S, T`` with
+    ``A ∈ R, S``, ``B ∈ S, T``, ``A ∉ T`` and ``B ∉ R``.
+    """
+    at = atom_sets(query)
+    for variable_a, variable_b in combinations(sorted(at), 2):
+        at_a, at_b = at[variable_a], at[variable_b]
+        shared = at_a & at_b
+        if not shared:
+            continue
+        if at_a <= at_b or at_b <= at_a:
+            continue
+        atom_r = next(iter(sorted(at_a - at_b)))
+        atom_s = next(iter(sorted(shared)))
+        atom_t = next(iter(sorted(at_b - at_a)))
+        return NonHierarchicalWitness(
+            variable_a=variable_a,
+            variable_b=variable_b,
+            atom_r=atom_r,
+            atom_s=atom_s,
+            atom_t=atom_t,
+        )
+    return None
+
+
+def is_hierarchical(query: BCQ) -> bool:
+    """Decide the hierarchical property by the pairwise ``at``-set definition."""
+    return find_non_hierarchical_witness(query) is None

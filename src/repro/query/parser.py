@@ -1,0 +1,91 @@
+"""A small text parser for Boolean conjunctive queries.
+
+Accepted syntax (whitespace-insensitive)::
+
+    Q() :- R(A, B), S(A, C), T(A, C, D)
+    Q :- R(A,B) & S(A,C)
+    R(A,B), S(A,C)                      # head may be omitted
+
+Atom separators may be ``,``, ``&``, ``&&``, ``∧`` or the literal word
+``and``.  Nullary atoms are written ``R()``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ParseError
+from repro.query.atoms import Atom
+from repro.query.bcq import BCQ
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9']*)\s*\(([^()]*)\)\s*")
+_HEAD_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z_0-9']*)\s*(\(\s*\))?\s*:-")
+_SEPARATOR_RE = re.compile(r"\s*(?:,|&&|&|∧|\band\b)\s*")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9']*$")
+
+
+def parse_query(text: str, name: str | None = None) -> BCQ:
+    """Parse *text* into a :class:`~repro.query.bcq.BCQ`.
+
+    Parameters
+    ----------
+    text:
+        The query string, with or without a ``Q() :-`` head.
+    name:
+        Overrides the head name; defaults to the parsed head or ``"Q"``.
+
+    Raises
+    ------
+    ParseError
+        If the string is not a syntactically valid conjunctive query.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty query string")
+    body = text
+    head_name = "Q"
+    head_match = _HEAD_RE.match(text)
+    if head_match:
+        head_name = head_match.group(1)
+        body = text[head_match.end():]
+    elif ":-" in text:
+        raise ParseError(f"malformed query head in {text!r}")
+
+    atoms: list[Atom] = []
+    position = 0
+    body = body.strip()
+    if not body:
+        raise ParseError(f"query {text!r} has an empty body")
+    while position < len(body):
+        atom_match = _ATOM_RE.match(body, position)
+        if not atom_match:
+            raise ParseError(
+                f"expected an atom at position {position} of {body!r}"
+            )
+        relation, inner = atom_match.group(1), atom_match.group(2)
+        atoms.append(Atom(relation, _parse_variables(inner, relation)))
+        position = atom_match.end()
+        if position >= len(body):
+            break
+        separator = _SEPARATOR_RE.match(body, position)
+        if not separator or separator.end() == position:
+            raise ParseError(
+                f"expected an atom separator at position {position} of {body!r}"
+            )
+        position = separator.end()
+        if position >= len(body):
+            raise ParseError(f"trailing separator in {body!r}")
+    return BCQ(tuple(atoms), name or head_name)
+
+
+def _parse_variables(inner: str, relation: str) -> tuple[str, ...]:
+    """Parse the comma-separated variable list inside an atom."""
+    inner = inner.strip()
+    if not inner:
+        return ()
+    variables = tuple(part.strip() for part in inner.split(","))
+    for variable in variables:
+        if not _IDENT_RE.match(variable):
+            raise ParseError(
+                f"invalid variable {variable!r} in atom {relation}({inner})"
+            )
+    return variables

@@ -1,0 +1,136 @@
+"""Variable trees for hierarchical queries (Proposition 5.5).
+
+A *connected* SJF-BCQ is hierarchical iff there is a rooted tree whose nodes
+are exactly ``vars(Q)`` such that the variable set of every atom is exactly
+the set of variables on some root-path.  For disconnected queries we build one
+tree per connected component (a forest).
+
+The tree makes the hierarchy structure explicit and gives an alternative
+hierarchicality test, cross-checked against the other two definitions in the
+property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.atoms import Atom, Variable
+from repro.query.bcq import BCQ
+from repro.query.components import connected_components
+from repro.query.hierarchy import atom_sets
+
+
+@dataclass(frozen=True)
+class VariableTree:
+    """A rooted tree over the variables of one connected component.
+
+    Attributes
+    ----------
+    root:
+        The root variable (occurs in every atom of the component).
+    parent:
+        Mapping child → parent for every non-root variable.
+    """
+
+    root: Variable
+    parent: dict[Variable, Variable] = field(default_factory=dict)
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(self.parent) | {self.root}
+
+    def path_to_root(self, variable: Variable) -> tuple[Variable, ...]:
+        """Variables on the path from *variable* up to (and including) the root."""
+        path = [variable]
+        while path[-1] != self.root:
+            path.append(self.parent[path[-1]])
+        return tuple(path)
+
+    def children(self, variable: Variable) -> tuple[Variable, ...]:
+        return tuple(sorted(c for c, p in self.parent.items() if p == variable))
+
+    def depth(self, variable: Variable) -> int:
+        return len(self.path_to_root(variable)) - 1
+
+
+@dataclass(frozen=True)
+class VariableForest:
+    """One :class:`VariableTree` per connected component that has variables."""
+
+    trees: tuple[VariableTree, ...]
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(v for tree in self.trees for v in tree.variables)
+
+
+def build_variable_forest(query: BCQ) -> VariableForest | None:
+    """Build the Proposition 5.5 forest for *query*, or None if non-hierarchical."""
+    trees = []
+    for component in connected_components(query):
+        if not component.variables:
+            continue
+        tree = _build_component_tree(component)
+        if tree is None:
+            return None
+        trees.append(tree)
+    return VariableForest(tuple(trees))
+
+
+def _build_component_tree(component: BCQ) -> VariableTree | None:
+    """Build the variable tree of a connected component with ≥1 variable."""
+    at = atom_sets(component)
+    all_atoms = frozenset(component.atoms)
+    order = _containment_order(at, all_atoms)
+    if order is None:
+        return None
+    root = order[0]
+    parent: dict[Variable, Variable] = {}
+    # Variables sorted by strictly decreasing |at(X)| (ties chained
+    # deterministically) form root-paths: each variable's parent is the last
+    # previous variable whose at-set contains its own.
+    for index in range(1, len(order)):
+        child = order[index]
+        candidate = None
+        for previous in reversed(order[:index]):
+            if at[child] <= at[previous]:
+                candidate = previous
+                break
+        if candidate is None:
+            return None
+        parent[child] = candidate
+    tree = VariableTree(root=root, parent=parent)
+    if not verify_variable_tree(component, tree):
+        return None
+    return tree
+
+
+def _containment_order(
+    at: dict[Variable, frozenset[Atom]], all_atoms: frozenset[Atom]
+) -> list[Variable] | None:
+    """Order variables by decreasing at-set size; the first must hit all atoms."""
+    order = sorted(at, key=lambda v: (-len(at[v]), v))
+    if at[order[0]] != all_atoms:
+        # A connected hierarchical query always has a variable present in
+        # every atom; its absence certifies non-hierarchicality.
+        return None
+    return order
+
+
+def verify_variable_tree(component: BCQ, tree: VariableTree) -> bool:
+    """Check the Proposition 5.5 condition: every atom is exactly a root-path."""
+    if tree.variables != component.variables:
+        return False
+    root_paths = {
+        frozenset(tree.path_to_root(variable)) for variable in tree.variables
+    }
+    return all(
+        atom.variable_set in root_paths
+        for atom in component.atoms
+        if atom.variables
+    )
+
+
+def is_hierarchical_by_tree(query: BCQ) -> bool:
+    """Decide hierarchicality by attempting the Proposition 5.5 construction."""
+    return build_variable_forest(query) is not None

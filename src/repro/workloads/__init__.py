@@ -1,0 +1,31 @@
+"""Workloads: query families, random instances, and graph generators."""
+
+from repro.workloads.generators import (
+    correlated_database,
+    random_bagset_instance,
+    random_database,
+    random_probabilistic_database,
+    random_shapley_instance,
+    scale_database,
+    star_database,
+)
+from repro.workloads.graphs import (
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    planted_biclique_graph,
+)
+
+__all__ = [
+    "correlated_database",
+    "cycle_graph",
+    "gnp_random_graph",
+    "path_graph",
+    "planted_biclique_graph",
+    "random_bagset_instance",
+    "random_database",
+    "random_probabilistic_database",
+    "random_shapley_instance",
+    "scale_database",
+    "star_database",
+]

@@ -1,0 +1,69 @@
+"""Random graph generators for the hardness experiments (E8).
+
+The planted-biclique generator hides a ``k × k`` balanced complete bipartite
+subgraph inside G(n, p) noise — the natural hard workload for the Theorem 4.4
+reduction: the reduction-based solver must recover the planted structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hardness.bcbs import Graph
+
+
+def _as_rng(seed_or_rng: int | random.Random) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def gnp_random_graph(n: int, p: float, seed: int | random.Random = 0) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` on vertices ``0 .. n-1``."""
+    rng = _as_rng(seed)
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if rng.random() < p
+    ]
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+def planted_biclique_graph(
+    n: int, k: int, noise: float, seed: int | random.Random = 0
+) -> tuple[Graph, frozenset[int], frozenset[int]]:
+    """``G(n, noise)`` with a planted balanced ``k × k`` biclique.
+
+    Returns the graph and the two planted parts (the first ``k`` and the next
+    ``k`` vertices).
+    """
+    if 2 * k > n:
+        raise ValueError("need n ≥ 2k to plant a balanced k × k biclique")
+    rng = _as_rng(seed)
+    base = gnp_random_graph(n, noise, rng)
+    part_one = frozenset(range(k))
+    part_two = frozenset(range(k, 2 * k))
+    planted = [(u, v) for u in part_one for v in part_two]
+    edges = {tuple(sorted(edge)) for edge in planted}
+    edges.update(tuple(sorted(edge)) for edge in base.edges)
+    return (
+        Graph.from_edges(edges, vertices=range(n)),
+        part_one,
+        part_two,
+    )
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``0 — 1 — ... — n-1`` (biclique-free beyond 1×1 for n ≥ 2)."""
+    return Graph.from_edges(
+        [(i, i + 1) for i in range(n - 1)], vertices=range(n)
+    )
+
+
+def cycle_graph(n: int) -> Graph:
+    """The n-cycle."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(edges, vertices=range(n))

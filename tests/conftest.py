@@ -1,0 +1,78 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.problems.bagset_max import BagSetInstance
+from repro.problems.shapley import ShapleyInstance
+from repro.query.families import q_eq1, q_h, q_nh
+
+
+@pytest.fixture
+def fig1_query():
+    """The query of Eq. (1): Q() :- R(A,B) ∧ S(A,C) ∧ T(A,C,D)."""
+    return q_eq1()
+
+
+@pytest.fixture
+def fig1_instance(fig1_query):
+    """The exact Bag-Set Maximization instance of Figure 1 (θ = 2)."""
+    database = Database.from_relations(
+        {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+    )
+    repair = Database.from_relations(
+        {"R": [(1, 6), (1, 7)], "S": [], "T": [(1, 1, 4), (1, 2, 9)]}
+    )
+    return BagSetInstance(database, repair, budget=2)
+
+
+@pytest.fixture
+def hierarchical_query():
+    return q_h()
+
+
+@pytest.fixture
+def non_hierarchical_query():
+    return q_nh()
+
+
+@pytest.fixture
+def small_shapley_instance(fig1_query):
+    return ShapleyInstance(
+        exogenous=Database.from_relations({"S": [(1, 1), (1, 2)]}),
+        endogenous=Database.from_relations({"R": [(1, 5)], "T": [(1, 2, 4)]}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+def monotone_vectors(length: int, max_value: int = 6):
+    """Strategy for monotone natural vectors of a fixed length."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_value),
+        min_size=length, max_size=length,
+    ).map(lambda deltas: tuple_prefix_sums(deltas))
+
+
+def tuple_prefix_sums(deltas):
+    total = 0
+    out = []
+    for delta in deltas:
+        total += delta
+        out.append(total)
+    return tuple(out)
+
+
+def seeds():
+    return st.integers(min_value=0, max_value=10_000)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)

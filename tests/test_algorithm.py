@@ -1,0 +1,181 @@
+"""Tests for the Algorithm 1 executor over various 2-monoids.
+
+The counting semiring gives a strong engine cross-check: annotating every
+present fact with 1 and running Algorithm 1 must yield exactly ``Q(D)`` under
+bag-set semantics (the backtracking evaluator's count), because (N, +, ×)
+distributes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.boolean import BooleanSemiring
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.polynomial import PolynomialSemiring, monomial_supports, variable
+from repro.core.algorithm import evaluate_hierarchical, execute_plan, run_algorithm
+from repro.core.instrument import CountingMonoid
+from repro.core.plan import compile_plan
+from repro.db.annotated import KDatabase
+from repro.db.database import Database
+from repro.db.evaluation import count_satisfying_assignments, evaluates_true
+from repro.exceptions import NotHierarchicalError
+from repro.query.families import (
+    q_disconnected,
+    q_eq1,
+    q_h,
+    q_nh,
+    random_hierarchical_query,
+    star_query,
+)
+from repro.workloads.generators import random_database, star_database
+
+
+def _counting_result(query, database):
+    return evaluate_hierarchical(
+        query, CountingSemiring(), database.facts(), lambda _f: 1
+    )
+
+
+class TestCountingCrossCheck:
+    def test_fig1_database(self):
+        database = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        assert _counting_result(q_eq1(), database) == 1
+
+    def test_star_closed_form(self):
+        query = star_query(3)
+        database = star_database(query, hubs=3, spokes_per_hub=2)
+        assert _counting_result(query, database) == 3 * 8
+
+    def test_empty_database(self):
+        assert _counting_result(q_h(), Database()) == 0
+
+    def test_disconnected_query_product(self):
+        database = Database.from_relations({"R": [(1,), (2,)], "S": [(7,)]})
+        assert _counting_result(q_disconnected(), database) == 2
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=75, deadline=None)
+    def test_agrees_with_backtracking_on_random_inputs(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=4, max_atoms=4)
+        database = random_database(
+            query, facts_per_relation=4, domain_size=3, seed=rng
+        )
+        assert _counting_result(query, database) == (
+            count_satisfying_assignments(query, database)
+        )
+
+
+class TestBooleanCrossCheck:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=75, deadline=None)
+    def test_agrees_with_boolean_evaluation(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=4, max_atoms=4)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=3, seed=rng
+        )
+        unified = evaluate_hierarchical(
+            query, BooleanSemiring(), database.facts(), lambda _f: True
+        )
+        assert unified == evaluates_true(query, database)
+
+
+class TestPolynomialCrossCheck:
+    def test_monomials_are_assignment_supports(self):
+        """N[X] provenance: one monomial per satisfying assignment, whose
+        variables are exactly the assignment's facts."""
+        query = q_h()
+        database = Database.from_relations(
+            {"E": [(1, 2), (1, 3)], "F": [(2, 5), (3, 7)]}
+        )
+        result = evaluate_hierarchical(
+            query, PolynomialSemiring(), database.facts(),
+            lambda fact: variable(fact),
+        )
+        from repro.db.fact import Fact
+
+        expected = {
+            frozenset({Fact("E", (1, 2)), Fact("F", (2, 5))}),
+            frozenset({Fact("E", (1, 3)), Fact("F", (3, 7))}),
+        }
+        assert monomial_supports(result) == expected
+
+
+class TestExecution:
+    def test_run_algorithm_rejects_non_hierarchical(self):
+        database = Database.from_relations({"R": [(1,)], "S": [(1, 2)], "T": [(2,)]})
+        annotated = KDatabase.from_database(q_nh(), CountingSemiring(), database)
+        with pytest.raises(NotHierarchicalError):
+            run_algorithm(q_nh(), annotated)
+
+    def test_execute_plan_report(self):
+        query = q_eq1()
+        database = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        plan = compile_plan(query)
+        annotated = KDatabase.from_database(query, CountingSemiring(), database)
+        report = execute_plan(plan, annotated)
+        assert report.result == 1
+        assert report.steps_executed == len(plan.steps)
+        assert report.max_live_support <= annotated.size()
+
+    def test_step_hook_sees_every_step(self):
+        query = q_eq1()
+        database = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1)], "T": [(1, 1, 4)]}
+        )
+        seen = []
+        annotated = KDatabase.from_database(query, CountingSemiring(), database)
+        plan = compile_plan(query)
+        execute_plan(plan, annotated, on_step=lambda step, rel: seen.append(step))
+        assert seen == list(plan.steps)
+
+    def test_policies_agree(self):
+        query = star_query(3)
+        database = star_database(query, hubs=2, spokes_per_hub=2)
+        results = {
+            evaluate_hierarchical(
+                query, CountingSemiring(), database.facts(), lambda _f: 1,
+                policy=policy,
+            )
+            for policy in ("rule1_first", "rule2_first")
+        }
+        assert len(results) == 1
+
+
+class TestOperationCount:
+    """Theorem 6.7: the number of ⊕/⊗ applications is O(|D|)."""
+
+    def test_linear_operation_bound(self):
+        query = q_eq1()
+        ratios = []
+        for per_relation in (50, 100, 200, 400):
+            database = random_database(
+                query, per_relation, domain_size=per_relation, seed=per_relation
+            )
+            counting = CountingMonoid(CountingSemiring())
+            evaluate_hierarchical(query, counting, database.facts(), lambda _f: 1)
+            ratios.append(counting.operation_count / len(database))
+        # ops per fact stays bounded by a constant as |D| quadruples.
+        assert max(ratios) <= 4 * min(ratios) + 1
+        assert max(ratios) < 10
+
+    def test_counting_monoid_delegation(self):
+        counting = CountingMonoid(CountingSemiring())
+        assert counting.add(2, 3) == 5
+        assert counting.mul(2, 3) == 6
+        assert counting.add_count == 1
+        assert counting.mul_count == 1
+        assert counting.operation_count == 2
+        counting.reset()
+        assert counting.operation_count == 0
+        assert counting.zero == 0
+        assert counting.one == 1
+        assert counting.annihilates

@@ -1,0 +1,137 @@
+"""Tests for K-annotated relations and databases."""
+
+import pytest
+
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.shapley import ShapleyMonoid
+from repro.db.annotated import KDatabase, KRelation
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.exceptions import AlgebraError, SchemaError
+from repro.query.atoms import Atom
+from repro.query.bcq import make_query
+from repro.query.families import q_eq1
+
+
+class TestKRelation:
+    def test_absent_tuples_are_zero(self):
+        rel = KRelation(Atom("R", ("A",)), CountingSemiring())
+        assert rel.annotation((99,)) == 0
+        assert len(rel) == 0
+
+    def test_zero_annotations_dropped(self):
+        rel = KRelation(Atom("R", ("A",)), CountingSemiring())
+        rel.set((1,), 5)
+        rel.set((1,), 0)
+        assert len(rel) == 0
+        assert (1,) not in rel.support()
+
+    def test_arity_checked(self):
+        rel = KRelation(Atom("R", ("A", "B")), CountingSemiring())
+        with pytest.raises(SchemaError):
+            rel.set((1,), 3)
+
+    def test_project_out_folds_with_add(self):
+        rel = KRelation(
+            Atom("R", ("A", "B")), CountingSemiring(),
+            {(1, 10): 2, (1, 11): 3, (2, 10): 7},
+        )
+        projected = rel.project_out("B", Atom("R'", ("A",)))
+        assert projected.annotation((1,)) == 5
+        assert projected.annotation((2,)) == 7
+        assert len(projected) == 2
+
+    def test_project_out_to_nullary(self):
+        rel = KRelation(Atom("R", ("A",)), CountingSemiring(), {(1,): 2, (2,): 3})
+        projected = rel.project_out("A", Atom("R'", ()))
+        assert projected.annotation(()) == 5
+
+    def test_project_out_empty_support(self):
+        rel = KRelation(Atom("R", ("A",)), CountingSemiring())
+        projected = rel.project_out("A", Atom("R'", ()))
+        assert projected.annotation(()) == 0
+
+    def test_project_out_missing_variable(self):
+        rel = KRelation(Atom("R", ("A",)), CountingSemiring())
+        with pytest.raises(AlgebraError):
+            rel.project_out("Z", Atom("R'", ()))
+
+    def test_merge_intersection_for_annihilating_monoid(self):
+        monoid = CountingSemiring()
+        left = KRelation(Atom("R1", ("A",)), monoid, {(1,): 2, (2,): 3})
+        right = KRelation(Atom("R2", ("A",)), monoid, {(2,): 5, (3,): 7})
+        merged = left.merge(right, Atom("R'", ("A",)))
+        assert merged.annotation((2,)) == 15
+        assert merged.annotation((1,)) == 0
+        assert merged.annotation((3,)) == 0
+        assert merged.support() == frozenset({(2,)})
+
+    def test_merge_union_for_non_annihilating_monoid(self):
+        """The Shapley monoid has a ⊗ 0 ≠ 0: one-sided tuples must survive."""
+        monoid = ShapleyMonoid(2)
+        left = KRelation(Atom("R1", ("A",)), monoid, {(1,): monoid.star})
+        right = KRelation(Atom("R2", ("A",)), monoid, {(2,): monoid.star})
+        merged = left.merge(right, Atom("R'", ("A",)))
+        expected = monoid.mul(monoid.star, monoid.zero)
+        assert merged.annotation((1,)) == expected
+        assert merged.annotation((2,)) == expected
+        assert not monoid.is_zero(merged.annotation((1,)))
+
+    def test_merge_aligns_different_variable_orders(self):
+        monoid = CountingSemiring()
+        left = KRelation(Atom("R1", ("A", "B")), monoid, {(1, 2): 3})
+        right = KRelation(Atom("R2", ("B", "A")), monoid, {(2, 1): 5})
+        merged = left.merge(right, Atom("R'", ("A", "B")))
+        assert merged.annotation((1, 2)) == 15
+
+    def test_merge_different_variable_sets_rejected(self):
+        monoid = CountingSemiring()
+        left = KRelation(Atom("R1", ("A",)), monoid)
+        right = KRelation(Atom("R2", ("B",)), monoid)
+        with pytest.raises(AlgebraError):
+            left.merge(right, Atom("R'", ("A",)))
+
+    def test_merge_different_monoids_rejected(self):
+        left = KRelation(Atom("R1", ("A",)), CountingSemiring())
+        right = KRelation(Atom("R2", ("A",)), ProbabilityMonoid())
+        with pytest.raises(AlgebraError):
+            left.merge(right, Atom("R'", ("A",)))
+
+    def test_float_zero_tolerance(self):
+        monoid = ProbabilityMonoid()
+        rel = KRelation(Atom("R", ("A",)), monoid)
+        rel.set((1,), 1e-15)
+        assert len(rel) == 0, "within-tolerance values count as zero"
+
+
+class TestKDatabase:
+    def test_from_database_defaults_to_one(self):
+        db = Database.from_relations({"R": [(1, 5)], "S": [(1, 1)], "T": []})
+        annotated = KDatabase.from_database(q_eq1(), CountingSemiring(), db)
+        assert annotated.annotation(Fact("R", (1, 5))) == 1
+        assert annotated.annotation(Fact("S", (9, 9))) == 0
+        assert annotated.size() == 2
+
+    def test_annotate_with_function(self):
+        facts = [Fact("R", (1, 5)), Fact("S", (1, 1))]
+        annotated = KDatabase.annotate(
+            q_eq1(), CountingSemiring(), facts, lambda f: f.values[0] + 1
+        )
+        assert annotated.annotation(Fact("R", (1, 5))) == 2
+
+    def test_unknown_relation_raises(self):
+        annotated = KDatabase(q_eq1(), CountingSemiring())
+        with pytest.raises(SchemaError):
+            annotated.set(Fact("Nope", (1,)), 1)
+
+    def test_non_sjf_query_rejected(self):
+        q = make_query([("R", "A"), ("R", "B")])
+        with pytest.raises(Exception):
+            KDatabase(q, CountingSemiring())
+
+    def test_size_counts_support_only(self):
+        annotated = KDatabase(q_eq1(), CountingSemiring())
+        annotated.set(Fact("R", (1, 5)), 3)
+        annotated.set(Fact("S", (1, 1)), 0)
+        assert annotated.size() == 1

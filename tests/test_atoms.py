@@ -1,0 +1,89 @@
+"""Unit tests for repro.query.atoms."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.atoms import Atom, make_atom
+
+
+class TestAtomConstruction:
+    def test_basic_atom(self):
+        atom = Atom("R", ("A", "B"))
+        assert atom.relation == "R"
+        assert atom.variables == ("A", "B")
+        assert atom.arity == 2
+
+    def test_nullary_atom(self):
+        atom = Atom("R", ())
+        assert atom.is_nullary
+        assert atom.arity == 0
+        assert atom.variable_set == frozenset()
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("A", "A"))
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", ("A",))
+
+    def test_make_atom_accepts_iterables(self):
+        assert make_atom("R", "AB") == Atom("R", ("A", "B"))
+        assert make_atom("R", ["X", "Y"]) == Atom("R", ("X", "Y"))
+
+    def test_variables_coerced_to_tuple(self):
+        atom = Atom("R", ("A", "B"))
+        assert isinstance(atom.variables, tuple)
+
+
+class TestAtomProperties:
+    def test_variable_set(self):
+        atom = Atom("T", ("A", "C", "D"))
+        assert atom.variable_set == frozenset({"A", "C", "D"})
+
+    def test_contains(self):
+        atom = Atom("S", ("A", "C"))
+        assert atom.contains("A")
+        assert atom.contains("C")
+        assert not atom.contains("B")
+
+    def test_str(self):
+        assert str(Atom("R", ("A", "B"))) == "R(A, B)"
+        assert str(Atom("R", ())) == "R()"
+
+    def test_equality_and_hash(self):
+        assert Atom("R", ("A",)) == Atom("R", ("A",))
+        assert Atom("R", ("A",)) != Atom("R", ("B",))
+        assert Atom("R", ("A",)) != Atom("S", ("A",))
+        assert len({Atom("R", ("A",)), Atom("R", ("A",))}) == 1
+
+    def test_order_of_variables_matters_for_equality(self):
+        assert Atom("R", ("A", "B")) != Atom("R", ("B", "A"))
+        assert (
+            Atom("R", ("A", "B")).variable_set
+            == Atom("R", ("B", "A")).variable_set
+        )
+
+
+class TestAtomRewriting:
+    def test_without_removes_variable(self):
+        atom = Atom("T", ("A", "C", "D"))
+        reduced = atom.without("D", "T'")
+        assert reduced == Atom("T'", ("A", "C"))
+
+    def test_without_preserves_order(self):
+        atom = Atom("T", ("A", "C", "D"))
+        assert atom.without("C", "T'").variables == ("A", "D")
+
+    def test_without_missing_variable_raises(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("A",)).without("Z", "R'")
+
+    def test_without_to_nullary(self):
+        assert Atom("R", ("A",)).without("A", "R'").is_nullary
+
+    def test_renamed(self):
+        atom = Atom("R", ("A", "B"))
+        renamed = atom.renamed("R'")
+        assert renamed.relation == "R'"
+        assert renamed.variables == atom.variables

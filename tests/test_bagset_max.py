@@ -1,0 +1,166 @@
+"""Tests for Bag-Set Maximization (Definition 4.1, Theorem 5.11)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.bagset import is_monotone
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.exceptions import NotHierarchicalError, ReproError
+from repro.problems.bagset_max import (
+    BagSetInstance,
+    decide,
+    maximize,
+    maximize_brute_force,
+    maximize_greedy,
+    maximize_profile,
+    maximize_via_lineage,
+)
+from repro.query.families import q_eq1, q_h, q_nh, random_hierarchical_query
+from repro.workloads.generators import random_bagset_instance
+
+
+class TestFigure1:
+    """The paper's worked example, end to end."""
+
+    def test_optimum_is_four(self, fig1_query, fig1_instance):
+        assert maximize(fig1_query, fig1_instance) == 4
+
+    def test_brute_force_agrees(self, fig1_query, fig1_instance):
+        assert maximize_brute_force(fig1_query, fig1_instance) == 4
+
+    def test_profile(self, fig1_query, fig1_instance):
+        """Budget 0 → 1 (no repair), budget 1 → 2, budget 2 → 4."""
+        assert maximize_profile(fig1_query, fig1_instance) == (1, 2, 4)
+
+    def test_lineage_route_agrees(self, fig1_query, fig1_instance):
+        assert maximize_via_lineage(fig1_query, fig1_instance) == 4
+
+    def test_decision_version(self, fig1_query, fig1_instance):
+        assert decide(fig1_query, fig1_instance, 4)
+        assert not decide(fig1_query, fig1_instance, 5)
+
+    def test_naive_r_only_repair_is_suboptimal(self, fig1_query, fig1_instance):
+        """The paper's discussion: adding R(1,6), R(1,7) only reaches 3."""
+        from repro.db.evaluation import count_satisfying_assignments
+
+        naive = fig1_instance.database.with_facts(
+            [Fact("R", (1, 6)), Fact("R", (1, 7))]
+        )
+        assert count_satisfying_assignments(fig1_query, naive) == 3
+
+
+class TestInstanceModel:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError):
+            BagSetInstance(Database(), Database(), budget=-1)
+
+    def test_addable_facts_excludes_present(self):
+        base = Database.from_relations({"E": [(1, 2)]})
+        repair = Database.from_relations({"E": [(1, 2), (1, 3)]})
+        instance = BagSetInstance(base, repair, budget=1)
+        assert instance.addable_facts() == (Fact("E", (1, 3)),)
+
+    def test_budget_zero_means_no_repair(self, fig1_query, fig1_instance):
+        instance = BagSetInstance(
+            fig1_instance.database, fig1_instance.repair_database, budget=0
+        )
+        assert maximize(fig1_query, instance) == 1
+        assert maximize_brute_force(fig1_query, instance) == 1
+
+    def test_budget_beyond_repair_size_saturates(self, fig1_query, fig1_instance):
+        huge = BagSetInstance(
+            fig1_instance.database, fig1_instance.repair_database, budget=100
+        )
+        all_in = BagSetInstance(
+            fig1_instance.database,
+            fig1_instance.repair_database,
+            budget=len(fig1_instance.repair_database),
+        )
+        assert maximize(fig1_query, huge) == maximize(fig1_query, all_in)
+
+    def test_empty_repair_database(self, fig1_query, fig1_instance):
+        instance = BagSetInstance(fig1_instance.database, Database(), budget=3)
+        assert maximize(fig1_query, instance) == 1
+
+    def test_non_hierarchical_rejected(self):
+        instance = BagSetInstance(Database(), Database(), budget=1)
+        with pytest.raises(NotHierarchicalError):
+            maximize(q_nh(), instance)
+
+
+class TestProfileProperties:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_profile_is_monotone(self, seed):
+        instance = random_bagset_instance(
+            q_eq1(), base_facts_per_relation=3, repair_facts_per_relation=3,
+            budget=4, domain_size=3, seed=seed,
+        )
+        profile = maximize_profile(q_eq1(), instance)
+        assert is_monotone(profile)
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=25, deadline=None)
+    def test_profile_entries_match_smaller_budgets(self, seed):
+        """q(i) of the θ-profile equals the optimum of the budget-i instance."""
+        instance = random_bagset_instance(
+            q_h(), base_facts_per_relation=2, repair_facts_per_relation=3,
+            budget=3, domain_size=3, seed=seed,
+        )
+        profile = maximize_profile(q_h(), instance)
+        for budget in range(instance.budget + 1):
+            smaller = BagSetInstance(
+                instance.database, instance.repair_database, budget
+            )
+            assert profile[budget] == maximize_brute_force(q_h(), smaller)
+
+
+class TestAgainstBruteForce:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_agreement_on_eq1(self, seed):
+        instance = random_bagset_instance(
+            q_eq1(), base_facts_per_relation=3, repair_facts_per_relation=4,
+            budget=3, domain_size=3, seed=seed,
+        )
+        assert maximize(q_eq1(), instance) == maximize_brute_force(q_eq1(), instance)
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_agreement_on_random_hierarchical_queries(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=2, repair_facts_per_relation=3,
+            budget=2, domain_size=2, seed=rng,
+        )
+        if len(instance.addable_facts()) > 10:
+            return
+        assert maximize(query, instance) == maximize_brute_force(query, instance)
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_is_a_lower_bound(self, seed):
+        instance = random_bagset_instance(
+            q_eq1(), base_facts_per_relation=3, repair_facts_per_relation=4,
+            budget=3, domain_size=3, seed=seed,
+        )
+        assert maximize_greedy(q_eq1(), instance) <= maximize(q_eq1(), instance)
+
+    def test_greedy_strictly_suboptimal_example(self):
+        """A conjunctive trap: greedy spends budget on the branch with
+        immediate gain and misses the paired S+T repair."""
+        query = q_h()  # E(X,Y) ∧ F(Y,Z)
+        base = Database.from_relations({"E": [(0, 1)], "F": [(1, 10)]})
+        repair = Database.from_relations(
+            {"E": [(0, 2), (9, 1)], "F": [(2, 20), (2, 21), (2, 22)]}
+        )
+        instance = BagSetInstance(base, repair, budget=4)
+        optimum = maximize(query, instance)
+        brute = maximize_brute_force(query, instance)
+        assert optimum == brute
+        assert maximize_greedy(query, instance) <= optimum

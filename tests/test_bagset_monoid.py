@@ -1,0 +1,151 @@
+"""Tests for the bag-set maximization 2-monoid (Definition 5.9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.bagset import BagSetMonoid, is_monotone
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_annihilation_violation,
+    find_distributivity_violation,
+)
+from repro.exceptions import AlgebraError
+
+from conftest import monotone_vectors
+
+
+class TestDistinguishedElements:
+    def test_zero_one_star(self):
+        monoid = BagSetMonoid(4)
+        assert monoid.zero == (0, 0, 0, 0)
+        assert monoid.one == (1, 1, 1, 1)
+        assert monoid.star == (0, 1, 1, 1)
+
+    def test_star_length_one(self):
+        assert BagSetMonoid(1).star == (0,)
+
+    def test_budget(self):
+        assert BagSetMonoid(4).budget == 3
+
+    def test_invalid_length(self):
+        with pytest.raises(AlgebraError):
+            BagSetMonoid(0)
+
+
+class TestConvolutions:
+    def test_add_is_max_plus_convolution(self):
+        monoid = BagSetMonoid(3)
+        # (0,1,1) ⊕ (0,1,1): best multiplicity at budget 2 = 1 + 1.
+        assert monoid.add(monoid.star, monoid.star) == (0, 1, 2)
+
+    def test_mul_is_max_times_convolution(self):
+        monoid = BagSetMonoid(3)
+        # (0,1,1) ⊗ (0,1,1): both need one unit each → first product at i=2.
+        assert monoid.mul(monoid.star, monoid.star) == (0, 0, 1)
+
+    def test_paper_semantics_of_star_and_one(self):
+        """1 ⊗ ★: a present fact joined with a repairable one costs 1."""
+        monoid = BagSetMonoid(3)
+        assert monoid.mul(monoid.one, monoid.star) == (0, 1, 1)
+        assert monoid.add(monoid.one, monoid.star) == (1, 2, 2)
+
+    def test_identity_laws_need_monotonicity(self):
+        monoid = BagSetMonoid(3)
+        x = (0, 2, 5)
+        assert monoid.add(x, monoid.zero) == x
+        assert monoid.mul(x, monoid.one) == x
+
+    def test_add_example_by_hand(self):
+        monoid = BagSetMonoid(4)
+        x = (1, 3, 3, 3)
+        y = (0, 2, 2, 2)
+        # i=0: 1+0; i=1: max(1+2, 3+0)=3; i=2: max(1+2,3+2,3+0)=5; i=3: 5.
+        assert monoid.add(x, y) == (1, 3, 5, 5)
+
+    def test_mul_example_by_hand(self):
+        monoid = BagSetMonoid(3)
+        x = (1, 2, 2)
+        y = (1, 3, 3)
+        # i=0: 1; i=1: max(1·3, 2·1)=3; i=2: max(1·3, 2·3, 2·1)=6.
+        assert monoid.mul(x, y) == (1, 3, 6)
+
+    def test_length_mismatch_rejected(self):
+        monoid = BagSetMonoid(3)
+        with pytest.raises(AlgebraError):
+            monoid.add((0, 0), (0, 0, 0))
+
+
+class TestCarrier:
+    def test_is_monotone(self):
+        assert is_monotone((0, 1, 1, 5))
+        assert not is_monotone((1, 0))
+        assert is_monotone(())
+        assert is_monotone((3,))
+
+    def test_validate(self):
+        monoid = BagSetMonoid(3)
+        assert monoid.validate([0, 1, 2]) == (0, 1, 2)
+        with pytest.raises(AlgebraError):
+            monoid.validate((2, 1, 0))
+        with pytest.raises(AlgebraError):
+            monoid.validate((-1, 0, 0))
+        with pytest.raises(AlgebraError):
+            monoid.validate((0, 1))
+
+    def test_truncate_shortens(self):
+        monoid = BagSetMonoid(2)
+        assert monoid.truncate((0, 1, 2, 3)) == (0, 1)
+
+    def test_truncate_extends_monotonically(self):
+        monoid = BagSetMonoid(4)
+        assert monoid.truncate((0, 2)) == (0, 2, 2, 2)
+        assert monoid.truncate(()) == (0, 0, 0, 0)
+
+
+class TestLaws:
+    @given(
+        x=monotone_vectors(4), y=monotone_vectors(4), z=monotone_vectors(4)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_axioms_hold(self, x, y, z):
+        monoid = BagSetMonoid(4)
+        assert monoid.add(x, y) == monoid.add(y, x)
+        assert monoid.mul(x, y) == monoid.mul(y, x)
+        assert monoid.add(monoid.add(x, y), z) == monoid.add(x, monoid.add(y, z))
+        assert monoid.mul(monoid.mul(x, y), z) == monoid.mul(x, monoid.mul(y, z))
+        assert monoid.add(x, monoid.zero) == x
+        assert monoid.mul(x, monoid.one) == x
+
+    @given(x=monotone_vectors(4), y=monotone_vectors(4))
+    @settings(max_examples=150, deadline=None)
+    def test_operations_preserve_monotonicity(self, x, y):
+        monoid = BagSetMonoid(4)
+        assert is_monotone(monoid.add(x, y))
+        assert is_monotone(monoid.mul(x, y))
+
+    def test_law_census(self):
+        monoid = BagSetMonoid(3)
+        samples = [monoid.zero, monoid.one, monoid.star, (0, 1, 2), (1, 2, 4)]
+        assert check_two_monoid_laws(monoid, samples) == []
+
+    def test_not_distributive(self):
+        monoid = BagSetMonoid(3)
+        samples = [monoid.zero, monoid.one, monoid.star, (0, 1, 2)]
+        assert find_distributivity_violation(monoid, samples) is not None
+
+    def test_explicit_distributivity_counterexample(self):
+        monoid = BagSetMonoid(3)
+        a, b, c = monoid.star, monoid.one, monoid.one
+        left = monoid.mul(a, monoid.add(b, c))
+        right = monoid.add(monoid.mul(a, b), monoid.mul(a, c))
+        assert left == (0, 2, 2)
+        assert right == (0, 1, 2)
+        assert left != right
+
+    def test_annihilation_holds(self):
+        """(max, ×)-convolution with all-zeros gives all-zeros."""
+        monoid = BagSetMonoid(3)
+        samples = [monoid.one, monoid.star, (2, 5, 9)]
+        assert find_annihilation_violation(monoid, samples) is None
+        assert monoid.annihilates

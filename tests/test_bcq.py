@@ -1,0 +1,111 @@
+"""Unit tests for repro.query.bcq."""
+
+import pytest
+
+from repro.exceptions import NotSelfJoinFreeError, QueryError
+from repro.query.atoms import Atom
+from repro.query.bcq import BCQ, make_query
+from repro.query.families import q_eq1, q_nh
+
+
+class TestConstruction:
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            BCQ(())
+
+    def test_make_query(self):
+        q = make_query([("R", "AB"), ("S", "AC")])
+        assert len(q) == 2
+        assert q.atoms[0] == Atom("R", ("A", "B"))
+
+    def test_str_rendering(self):
+        q = make_query([("R", "AB"), ("S", "AC")])
+        assert str(q) == "Q() :- R(A, B) ∧ S(A, C)"
+
+    def test_custom_name(self):
+        q = make_query([("R", "A")], name="Boolean")
+        assert str(q).startswith("Boolean() :-")
+
+
+class TestStructure:
+    def test_variables(self):
+        assert q_eq1().variables == frozenset({"A", "B", "C", "D"})
+
+    def test_relation_symbols(self):
+        assert q_eq1().relation_symbols == ("R", "S", "T")
+
+    def test_atoms_with(self):
+        q = q_eq1()
+        at_a = q.atoms_with("A")
+        assert len(at_a) == 3
+        at_d = q.atoms_with("D")
+        assert len(at_d) == 1
+        assert at_d[0].relation == "T"
+
+    def test_atoms_with_unknown_variable(self):
+        assert q_eq1().atoms_with("Z") == ()
+
+    def test_atom_for(self):
+        assert q_eq1().atom_for("S") == Atom("S", ("A", "C"))
+
+    def test_atom_for_unknown_raises(self):
+        with pytest.raises(QueryError):
+            q_eq1().atom_for("Missing")
+
+    def test_is_boolean_true_form(self):
+        assert BCQ((Atom("R", ()),)).is_boolean_true_form
+        assert not q_eq1().is_boolean_true_form
+        assert not BCQ((Atom("R", ()), Atom("S", ()))).is_boolean_true_form
+
+    def test_iteration(self):
+        assert list(q_nh()) == list(q_nh().atoms)
+
+
+class TestSelfJoinFreeness:
+    def test_sjf_query(self):
+        assert q_eq1().is_self_join_free
+        q_eq1().require_self_join_free()
+
+    def test_self_join_detected(self):
+        q = BCQ((Atom("R", ("A",)), Atom("R", ("B",))))
+        assert not q.is_self_join_free
+        with pytest.raises(NotSelfJoinFreeError):
+            q.require_self_join_free()
+
+
+class TestRewriting:
+    def test_replace_atom(self):
+        q = q_eq1()
+        old = q.atom_for("T")
+        new = Atom("T'", ("A", "C"))
+        rewritten = q.replace_atom(old, new)
+        assert new in rewritten.atoms
+        assert old not in rewritten.atoms
+        assert len(rewritten) == 3
+
+    def test_replace_missing_atom_raises(self):
+        with pytest.raises(QueryError):
+            q_eq1().replace_atom(Atom("Z", ()), Atom("Z'", ()))
+
+    def test_merge_atoms(self):
+        q = make_query([("R1", "AB"), ("R2", "AB"), ("S", "A")])
+        merged = q.merge_atoms(
+            q.atoms[0], q.atoms[1], Atom("R'", ("A", "B"))
+        )
+        assert len(merged) == 2
+        assert merged.atoms[0] == Atom("R'", ("A", "B"))
+
+    def test_merge_preserves_position_of_first(self):
+        q = make_query([("S", "A"), ("R1", "AB"), ("R2", "AB")])
+        merged = q.merge_atoms(q.atoms[1], q.atoms[2], Atom("R'", ("A", "B")))
+        assert merged.atoms[1].relation == "R'"
+
+    def test_merge_same_atom_raises(self):
+        q = make_query([("R", "AB"), ("S", "A")])
+        with pytest.raises(QueryError):
+            q.merge_atoms(q.atoms[0], q.atoms[0], Atom("R'", ("A", "B")))
+
+    def test_merge_missing_atom_raises(self):
+        q = make_query([("R", "AB"), ("S", "A")])
+        with pytest.raises(QueryError):
+            q.merge_atoms(q.atoms[0], Atom("Z", ("A", "B")), Atom("W", ("A", "B")))

@@ -1,0 +1,49 @@
+"""Tests for connected components of queries."""
+
+from repro.query.bcq import make_query
+from repro.query.components import connected_components, is_connected
+from repro.query.families import forest_query, q_disconnected, q_eq1, q_h
+
+
+class TestConnectivity:
+    def test_eq1_is_connected(self):
+        assert is_connected(q_eq1())
+        assert len(connected_components(q_eq1())) == 1
+
+    def test_qh_is_connected(self):
+        assert is_connected(q_h())
+
+    def test_disconnected_example(self):
+        components = connected_components(q_disconnected())
+        assert len(components) == 2
+        assert not is_connected(q_disconnected())
+
+    def test_components_partition_atoms(self):
+        q = forest_query(3, 2)
+        components = connected_components(q)
+        assert len(components) == 3
+        all_atoms = [atom for c in components for atom in c.atoms]
+        assert sorted(all_atoms) == sorted(q.atoms)
+
+    def test_components_have_disjoint_variables(self):
+        components = connected_components(forest_query(3, 2))
+        seen = set()
+        for component in components:
+            assert not (component.variables & seen)
+            seen |= component.variables
+
+    def test_nullary_atoms_are_singletons(self):
+        q = make_query([("R", "A"), ("N1", ""), ("N2", "")])
+        components = connected_components(q)
+        assert len(components) == 3
+
+    def test_transitive_connection(self):
+        # R-S share A, S-T share B: all one component though R,T share nothing.
+        q = make_query([("R", "A"), ("S", "AB"), ("T", "B")])
+        assert is_connected(q)
+
+    def test_component_order_is_stable(self):
+        q = make_query([("R", "A"), ("S", "B"), ("T", "A")])
+        components = connected_components(q)
+        assert [c.atoms[0].relation for c in components] == ["R", "S"]
+        assert {a.relation for a in components[0].atoms} == {"R", "T"}

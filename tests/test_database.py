@@ -1,0 +1,131 @@
+"""Tests for facts, schemas and set databases."""
+
+import pytest
+
+from repro.db.database import Database, repair_cost
+from repro.db.fact import Fact, make_fact
+from repro.db.schema import Schema
+from repro.exceptions import SchemaError
+from repro.query.families import q_eq1
+
+
+class TestFact:
+    def test_construction(self):
+        fact = Fact("R", (1, 5))
+        assert fact.relation == "R"
+        assert fact.values == (1, 5)
+        assert fact.arity == 2
+
+    def test_make_fact(self):
+        assert make_fact("R", [1, 5]) == Fact("R", (1, 5))
+
+    def test_str(self):
+        assert str(Fact("R", (1, "x"))) == "R(1, 'x')"
+
+    def test_hashable_and_ordered(self):
+        facts = {Fact("R", (1,)), Fact("R", (1,)), Fact("S", (1,))}
+        assert len(facts) == 2
+        assert Fact("R", (1,)) < Fact("S", (1,))
+
+
+class TestSchema:
+    def test_of_query(self):
+        schema = Schema.of_query(q_eq1())
+        assert schema.arity("R") == 2
+        assert schema.arity("T") == 3
+        assert "R" in schema
+        assert "Z" not in schema
+
+    def test_validate_fact(self):
+        schema = Schema.of_query(q_eq1())
+        schema.validate_fact(Fact("R", (1, 2)))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("R", (1, 2, 3)))
+        with pytest.raises(SchemaError):
+            schema.validate_fact(Fact("Unknown", (1,)))
+
+    def test_unknown_relation_arity_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of_query(q_eq1()).arity("Nope")
+
+    def test_relations_sorted(self):
+        assert Schema.of_query(q_eq1()).relations == ("R", "S", "T")
+
+
+class TestDatabase:
+    def test_from_relations(self):
+        db = Database.from_relations({"R": [(1, 5)], "S": [(1, 1), (1, 2)]})
+        assert len(db) == 3
+        assert db.tuples("R") == frozenset({(1, 5)})
+        assert db.tuples("S") == frozenset({(1, 1), (1, 2)})
+
+    def test_duplicates_collapse(self):
+        db = Database([Fact("R", (1,)), Fact("R", (1,))])
+        assert len(db) == 1
+
+    def test_contains(self):
+        db = Database.from_relations({"R": [(1, 5)]})
+        assert Fact("R", (1, 5)) in db
+        assert Fact("R", (1, 6)) not in db
+        assert Fact("S", (1, 5)) not in db
+
+    def test_unknown_relation_tuples_empty(self):
+        assert Database().tuples("Z") == frozenset()
+
+    def test_facts_deterministic_order(self):
+        db = Database.from_relations({"S": [(2,), (1,)], "R": [(3,)]})
+        facts = list(db.facts())
+        assert facts == sorted(facts, key=lambda f: (f.relation, repr(f.values)))
+
+    def test_active_domain(self):
+        db = Database.from_relations({"R": [(1, 5)], "T": [(1, 2, 4)]})
+        assert db.active_domain() == {1, 2, 4, 5}
+
+    def test_equality_and_hash(self):
+        a = Database.from_relations({"R": [(1,), (2,)]})
+        b = Database([Fact("R", (2,)), Fact("R", (1,))])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Database.from_relations({"R": [(1,)]})
+
+    def test_with_and_without_facts(self):
+        db = Database.from_relations({"R": [(1,)]})
+        extended = db.with_facts([Fact("R", (2,))])
+        assert len(extended) == 2
+        assert len(db) == 1, "with_facts must not mutate the original"
+        shrunk = extended.without_facts([Fact("R", (1,))])
+        assert shrunk.tuples("R") == frozenset({(2,)})
+
+    def test_union_difference(self):
+        a = Database.from_relations({"R": [(1,)]})
+        b = Database.from_relations({"R": [(2,)], "S": [(3,)]})
+        assert len(a.union(b)) == 3
+        assert a.union(b).difference(a) == b
+
+    def test_restrict(self):
+        db = Database.from_relations({"R": [(1,)], "S": [(2,)]})
+        assert db.restrict(["R"]).relations == ("R",)
+
+    def test_validate_against_query(self):
+        db = Database.from_relations({"R": [(1, 5, 9)]})
+        with pytest.raises(SchemaError):
+            db.validate_against(q_eq1())
+
+    def test_schema_buckets_declared(self):
+        schema = Schema.of_query(q_eq1())
+        db = Database([Fact("R", (1, 2))], schema=schema)
+        assert set(db.relations) == {"R", "S", "T"}
+
+
+class TestRepairCost:
+    def test_cost_counts_added_facts(self):
+        original = Database.from_relations({"R": [(1,)]})
+        repaired = original.with_facts([Fact("R", (2,)), Fact("S", (3,))])
+        assert repair_cost(original, repaired) == 2
+        assert repair_cost(original, original) == 0
+
+    def test_non_superset_rejected(self):
+        original = Database.from_relations({"R": [(1,)]})
+        other = Database.from_relations({"R": [(2,)]})
+        with pytest.raises(SchemaError):
+            repair_cost(original, other)

@@ -1,0 +1,58 @@
+"""Documentation consistency: doctests and declared public API."""
+
+import doctest
+
+import repro
+import repro.query.bcq
+
+
+class TestDoctests:
+    def test_package_quickstart_doctest(self):
+        """The README-mirrored doctest in repro/__init__.py must pass."""
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+    def test_bcq_doctest(self):
+        results = doctest.testmod(repro.query.bcq, verbose=False)
+        assert results.failed == 0
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        """Every name in repro.__all__ must actually exist."""
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.algebra
+        import repro.core
+        import repro.db
+        import repro.hardness
+        import repro.problems
+        import repro.query
+        import repro.workloads
+
+        for module in (
+            repro.algebra, repro.core, repro.db, repro.hardness,
+            repro.problems, repro.query, repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__}.__all__ lists missing {name!r}"
+                )
+
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_public_functions_have_docstrings(self):
+        """Every public callable on the top-level API carries a docstring."""
+        import inspect
+
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(name)
+        assert not missing, f"missing docstrings: {missing}"

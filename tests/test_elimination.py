@@ -1,0 +1,173 @@
+"""Tests for the elimination procedure (Proposition 5.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotHierarchicalError, QueryError
+from repro.query.bcq import make_query
+from repro.query.elimination import (
+    Rule1Step,
+    Rule2Step,
+    applicable_rule1_steps,
+    applicable_rule2_steps,
+    apply_step,
+    eliminate,
+    make_random_policy,
+)
+from repro.query.elimination import _FreshNames
+from repro.query.families import (
+    q_disconnected,
+    q_eq1,
+    q_example_53,
+    q_nh,
+    random_query,
+    star_query,
+    telescope_query,
+)
+from repro.query.hierarchy import is_hierarchical
+
+
+class TestExample52:
+    """The paper's Example 5.2 trace on the Eq. (1) query."""
+
+    def test_succeeds(self):
+        trace = eliminate(q_eq1())
+        assert trace.success
+        assert trace.final_query.is_boolean_true_form
+
+    def test_step_count(self):
+        # The Example 5.2 trace uses 4 Rule 1 and 2 Rule 2 applications:
+        # one per variable (A, B, C, D) and one per duplicate-atom merge.
+        trace = eliminate(q_eq1())
+        rule1 = [s for s in trace.steps if isinstance(s, Rule1Step)]
+        rule2 = [s for s in trace.steps if isinstance(s, Rule2Step)]
+        assert len(rule1) == 4
+        assert len(rule2) == 2
+
+    def test_eliminated_variables(self):
+        trace = eliminate(q_eq1())
+        eliminated = {s.variable for s in trace.steps if isinstance(s, Rule1Step)}
+        assert eliminated == {"A", "B", "C", "D"}
+
+    def test_intermediate_queries_stay_hierarchical(self):
+        """Proposition 5.1: the rules preserve the hierarchical property."""
+        for query in eliminate(q_eq1()).intermediate_queries():
+            assert is_hierarchical(query)
+
+
+class TestExample53:
+    """The non-hierarchical chain gets stuck (Example 5.3)."""
+
+    def test_gets_stuck(self):
+        trace = eliminate(q_example_53())
+        assert not trace.success
+        assert not trace.final_query.is_boolean_true_form
+
+    def test_stuck_query_has_three_atoms(self):
+        # As in the paper: R'(B) ∧ S(B,C) ∧ T'(C) — private vars gone.
+        trace = eliminate(q_example_53())
+        assert len(trace.final_query) == 3
+        assert trace.final_query.variables == {"B", "C"}
+
+    def test_final_relation_raises_on_failure(self):
+        trace = eliminate(q_example_53())
+        with pytest.raises(NotHierarchicalError):
+            _ = trace.final_relation
+
+    def test_intermediate_queries_stay_non_hierarchical(self):
+        for query in eliminate(q_example_53()).intermediate_queries():
+            assert not is_hierarchical(query)
+
+
+class TestExample54:
+    """Disconnected hierarchical queries reduce to a single nullary atom."""
+
+    def test_succeeds(self):
+        trace = eliminate(q_disconnected())
+        assert trace.success
+
+    def test_uses_a_nullary_rule2(self):
+        trace = eliminate(q_disconnected())
+        rule2 = [s for s in trace.steps if isinstance(s, Rule2Step)]
+        assert len(rule2) == 1
+        assert rule2[0].first.is_nullary
+
+
+class TestRuleApplicability:
+    def test_rule1_finds_private_variables(self):
+        fresh = _FreshNames({"R", "S", "T"})
+        steps = applicable_rule1_steps(q_eq1(), fresh)
+        assert {s.variable for s in steps} == {"B", "D"}
+
+    def test_rule2_requires_equal_variable_sets(self):
+        fresh = _FreshNames({"R", "S", "T"})
+        assert applicable_rule2_steps(q_eq1(), fresh) == []
+        q = make_query([("R", "AB"), ("S", "BA")])
+        steps = applicable_rule2_steps(q, fresh)
+        assert len(steps) == 1
+
+    def test_apply_step_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            apply_step(q_eq1(), "not a step")
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(QueryError):
+            eliminate(q_eq1(), policy="nonsense")
+
+    @pytest.mark.parametrize("policy", ["rule1_first", "rule2_first"])
+    def test_named_policies_agree_on_success(self, policy):
+        assert eliminate(q_eq1(), policy=policy).success
+        assert not eliminate(q_nh(), policy=policy).success
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_policies_confluent_on_random_queries(self, seed):
+        """All orders reach the same verdict (Proposition 5.1)."""
+        query = random_query(random.Random(seed))
+        verdicts = {
+            eliminate(query, policy="rule1_first").success,
+            eliminate(query, policy="rule2_first").success,
+            eliminate(query, policy=make_random_policy(seed)).success,
+        }
+        assert len(verdicts) == 1
+
+
+class TestTraceRendering:
+    def test_str_contains_done(self):
+        assert "(Done!)" in str(eliminate(q_eq1()))
+
+    def test_str_contains_stuck(self):
+        assert "(Stuck!)" in str(eliminate(q_nh()))
+
+    def test_fresh_names_are_primed(self):
+        trace = eliminate(q_eq1())
+        new_names = {s.target.relation for s in trace.steps}
+        assert all("'" in name for name in new_names)
+
+
+class TestStepCountInvariant:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_successful_traces_have_exact_step_count(self, seed):
+        """Rule 1 removes one variable, Rule 2 one atom: a successful trace
+        has |vars(Q)| + |atoms(Q)| - 1 steps."""
+        query = random_query(random.Random(seed))
+        trace = eliminate(query)
+        if trace.success:
+            expected = len(query.variables) + len(query.atoms) - 1
+            assert len(trace.steps) == expected
+
+    def test_star_and_telescope_step_counts(self):
+        for k in (1, 2, 4):
+            star = star_query(k)
+            assert len(eliminate(star).steps) == (k + 1) + k - 1
+            telescope = telescope_query(k)
+            assert (
+                len(eliminate(telescope).steps)
+                == k + k - 1
+            )

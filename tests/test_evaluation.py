@@ -1,0 +1,140 @@
+"""Tests for conjunctive-query evaluation (the baseline substrate)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.db.evaluation import (
+    count_satisfying_assignments,
+    evaluates_true,
+    satisfying_assignments,
+)
+from repro.query.bcq import make_query
+from repro.query.families import q_eq1, q_h, q_nh, random_query, star_query
+from repro.workloads.generators import random_database, star_database
+
+
+class TestFigure1Evaluation:
+    def test_initial_count_is_one(self):
+        db = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        assert count_satisfying_assignments(q_eq1(), db) == 1
+
+    def test_the_unique_assignment(self):
+        db = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        [assignment] = list(satisfying_assignments(q_eq1(), db))
+        assert assignment == {"A": 1, "B": 5, "C": 2, "D": 4}
+
+    def test_repaired_counts_from_the_paper(self):
+        base = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        plus_r = base.with_facts(
+            Database.from_relations({"R": [(1, 6), (1, 7)]}).facts()
+        )
+        assert count_satisfying_assignments(q_eq1(), plus_r) == 3
+        optimal = base.with_facts(
+            Database.from_relations({"R": [(1, 6)], "T": [(1, 2, 9)]}).facts()
+        )
+        assert count_satisfying_assignments(q_eq1(), optimal) == 4
+
+
+class TestBasics:
+    def test_empty_database_false(self):
+        assert not evaluates_true(q_h(), Database())
+        assert count_satisfying_assignments(q_h(), Database()) == 0
+
+    def test_cartesian_count(self):
+        db = Database.from_relations(
+            {"E": [(1, 2), (1, 3)], "F": [(2, 5), (2, 6), (3, 7)]}
+        )
+        # E(X,Y) ∧ F(Y,Z): Y=2 gives 1·2, Y=3 gives 1·1.
+        assert count_satisfying_assignments(q_h(), db) == 3
+
+    def test_qnh_evaluation(self):
+        db = Database.from_relations(
+            {"R": [(1,), (2,)], "S": [(1, 9), (2, 8)], "T": [(9,)]}
+        )
+        assert count_satisfying_assignments(q_nh(), db) == 1
+        assert evaluates_true(q_nh(), db)
+
+    def test_nullary_atom_semantics(self):
+        q = make_query([("N", ""), ("R", "A")])
+        without_n = Database.from_relations({"R": [(1,)]})
+        assert not evaluates_true(q, without_n)
+        with_n = without_n.with_facts(
+            Database.from_relations({"N": [()]}).facts()
+        )
+        assert count_satisfying_assignments(q, with_n) == 1
+
+    def test_disconnected_product(self):
+        q = make_query([("R", "A"), ("S", "B")])
+        db = Database.from_relations({"R": [(1,), (2,)], "S": [(5,), (6,), (7,)]})
+        assert count_satisfying_assignments(q, db) == 6
+
+    def test_star_database_closed_form(self):
+        q = star_query(3)
+        db = star_database(q, hubs=4, spokes_per_hub=2)
+        assert count_satisfying_assignments(q, db) == 4 * 2**3
+
+    def test_repeated_variable_across_atoms(self):
+        q = make_query([("R", "AB"), ("S", "BA")])
+        db = Database.from_relations({"R": [(1, 2), (2, 1)], "S": [(2, 1)]})
+        # Needs R(a,b) and S(b,a): only (a,b)=(1,2) works.
+        assert count_satisfying_assignments(q, db) == 1
+
+
+def _brute_force_count(query, database) -> int:
+    """Reference evaluator: try every assignment over the active domain."""
+    from itertools import product
+
+    domain = sorted(database.active_domain(), key=repr)
+    variables = sorted(query.variables)
+    count = 0
+    for values in product(domain, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(
+            tuple(assignment[v] for v in atom.variables)
+            in database.tuples(atom.relation)
+            for atom in query.atoms
+        ):
+            count += 1
+    return count
+
+
+class TestAgainstReferenceEvaluator:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_reference(self, seed):
+        rng = random.Random(seed)
+        query = random_query(rng, max_variables=3, max_atoms=3, max_arity=2)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=3, seed=rng
+        )
+        if not database.active_domain():
+            return
+        assert count_satisfying_assignments(query, database) == (
+            _brute_force_count(query, database)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_assignments_are_distinct_and_satisfying(self, seed):
+        rng = random.Random(seed)
+        query = random_query(rng, max_variables=3, max_atoms=3, max_arity=2)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=3, seed=rng
+        )
+        seen = set()
+        for assignment in satisfying_assignments(query, database):
+            key = tuple(sorted(assignment.items(), key=lambda kv: kv[0]))
+            assert key not in seen, "bag-set semantics: assignments are distinct"
+            seen.add(key)
+            for atom in query.atoms:
+                values = tuple(assignment[v] for v in atom.variables)
+                assert values in database.tuples(atom.relation)

@@ -1,0 +1,81 @@
+"""Integration tests: every example script runs end to end.
+
+The examples are the library's public face; they must execute cleanly with
+the installed package and produce their headline claims.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "optimal Q(D') within budget 2: 4" in output
+        assert "(1, 2, 4)" in output
+        assert "119/256" in output
+        assert "Shapley(R(1, 5)) = 1/2" in output
+
+    def test_probabilistic_sensors(self):
+        output = run_example("probabilistic_sensors.py")
+        assert "unified algorithm" in output
+        assert "brute force" in output
+        assert "P[Alive]" in output
+
+    def test_ad_campaign_repair(self):
+        output = run_example("ad_campaign_repair.py")
+        assert "optimal reach" in output
+        assert "unified=" in output and "brute force=" in output
+
+    def test_shapley_explanations(self):
+        output = run_example("shapley_explanations.py")
+        assert "#Sat(k)" in output
+        assert "efficiency: Σ Shapley = 1 (gap = 0)" in output
+        assert "null players" in output
+
+    def test_hardness_demo(self):
+        output = run_example("hardness_demo.py")
+        assert "BSM decision says biclique exists: True" in output
+        assert "optimal repair decodes back to the biclique" in output
+        assert "BSM decision: False" in output
+
+    def test_whatif_analysis(self):
+        output = run_example("whatif_analysis.py")
+        assert "per-vendor answer counts" in output
+        assert "resilience = 2 deletions" in output
+        assert "best achievable bag-set value: 6" in output
+        assert "one elimination plan, four answers" in output
+
+    def test_run_all_experiments_subset(self):
+        output = run_example("run_all_experiments.py", "E0", "E1")
+        assert "E0: Figure 1 worked example" in output
+        assert "E1: Elimination traces" in output
+
+    def test_run_all_experiments_rejects_unknown(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "run_all_experiments.py"), "E99"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0
+        assert "unknown experiment" in result.stderr

@@ -1,0 +1,189 @@
+"""Tests for the extension features: expected answer count (real semiring),
+Banzhaf values, and optimal-repair witness extraction."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_distributivity_violation,
+)
+from repro.algebra.real import RealSemiring
+from repro.db.database import Database
+from repro.db.evaluation import count_satisfying_assignments
+from repro.db.fact import Fact
+from repro.problems.bagset_max import (
+    BagSetInstance,
+    maximize,
+    optimal_repair,
+)
+from repro.problems.expected_count import (
+    expected_answer_count,
+    expected_answer_count_brute_force,
+    expected_answer_count_direct,
+)
+from repro.problems.possible_worlds import ProbabilisticDatabase
+from repro.problems.shapley import (
+    banzhaf_value,
+    banzhaf_value_brute_force,
+    shapley_value,
+)
+from repro.query.families import q_eq1, q_h, q_nh, random_hierarchical_query
+from repro.workloads.generators import (
+    random_bagset_instance,
+    random_probabilistic_database,
+    random_shapley_instance,
+)
+
+
+class TestRealSemiring:
+    def test_is_a_semiring(self):
+        semiring = RealSemiring()
+        samples = [0.0, 0.5, 1.0, 2.5]
+        assert check_two_monoid_laws(semiring, samples) == []
+        assert find_distributivity_violation(semiring, samples) is None
+        assert semiring.annihilates
+
+    def test_exact_mode(self):
+        semiring = RealSemiring(exact=True)
+        assert semiring.zero == Fraction(0)
+        assert semiring.add(Fraction(1, 2), Fraction(1, 3)) == Fraction(5, 6)
+
+
+class TestExpectedAnswerCount:
+    def test_single_assignment_expectation(self):
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("E", (1, 2)): Fraction(1, 2),
+                Fact("F", (2, 3)): Fraction(1, 3),
+            }
+        )
+        assert expected_answer_count(q_h(), pdb, exact=True) == Fraction(1, 6)
+
+    def test_linearity_over_two_assignments(self):
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("E", (1, 2)): Fraction(1, 2),
+                Fact("F", (2, 3)): Fraction(1, 3),
+                Fact("F", (2, 4)): Fraction(1, 5),
+            }
+        )
+        expected = Fraction(1, 6) + Fraction(1, 10)
+        assert expected_answer_count(q_h(), pdb, exact=True) == expected
+
+    def test_certain_database_recovers_bag_count(self):
+        db = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        pdb = ProbabilisticDatabase({f: Fraction(1) for f in db.facts()})
+        assert expected_answer_count(q_eq1(), pdb, exact=True) == (
+            count_satisfying_assignments(q_eq1(), db)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_three_routes_agree(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=2, domain_size=2, seed=rng, exact=True
+        )
+        if len(pdb) > 10:
+            return
+        unified = expected_answer_count(query, pdb, exact=True)
+        direct = expected_answer_count_direct(query, pdb, exact=True)
+        brute = expected_answer_count_brute_force(query, pdb, exact=True)
+        assert unified == direct == brute
+
+    def test_direct_route_handles_non_hierarchical_queries(self):
+        """The semiring-vs-2-monoid contrast: E[Q(D)] stays easy for q_nh."""
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("R", (1,)): Fraction(1, 2),
+                Fact("S", (1, 2)): Fraction(1, 2),
+                Fact("T", (2,)): Fraction(1, 2),
+            }
+        )
+        direct = expected_answer_count_direct(q_nh(), pdb, exact=True)
+        brute = expected_answer_count_brute_force(q_nh(), pdb, exact=True)
+        assert direct == brute == Fraction(1, 8)
+
+
+class TestBanzhaf:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_agreement_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        instance = random_shapley_instance(
+            query, facts_per_relation=2, domain_size=2, seed=rng
+        )
+        if instance.endogenous_count > 8:
+            return
+        for fact in list(instance.endogenous.facts())[:3]:
+            assert banzhaf_value(query, instance, fact) == (
+                banzhaf_value_brute_force(query, instance, fact)
+            )
+
+    def test_symmetric_two_fact_game(self, fig1_query, small_shapley_instance):
+        """Both facts needed: each flips iff the other is present → 1/2."""
+        for fact in small_shapley_instance.endogenous.facts():
+            value = banzhaf_value(fig1_query, small_shapley_instance, fact)
+            assert value == Fraction(1, 2)
+
+    def test_banzhaf_and_shapley_can_differ(self):
+        """A 3-player game where the indices disagree (no efficiency axiom
+        for Banzhaf)."""
+        query = q_h()
+        instance_db = Database.from_relations(
+            {"E": [(1, 2)], "F": [(2, 3), (2, 4)]}
+        )
+        from repro.problems.shapley import ShapleyInstance
+
+        instance = ShapleyInstance(
+            exogenous=Database(), endogenous=instance_db
+        )
+        e_fact = Fact("E", (1, 2))
+        banzhaf = banzhaf_value(query, instance, e_fact)
+        shapley = shapley_value(query, instance, e_fact)
+        # E is critical whenever some F is in: 3 of 4 subsets → 3/4.
+        assert banzhaf == Fraction(3, 4)
+        assert shapley == Fraction(2, 3)
+
+
+class TestOptimalRepair:
+    def test_fig1_witness(self, fig1_query, fig1_instance):
+        value, added = optimal_repair(fig1_query, fig1_instance)
+        assert value == 4
+        assert len(added) <= fig1_instance.budget
+        repaired = fig1_instance.database.with_facts(added)
+        assert count_satisfying_assignments(fig1_query, repaired) == 4
+        # The paper names the optimal repair: R(1,6)/R(1,7) plus T(1,2,9).
+        assert Fact("T", (1, 2, 9)) in added
+
+    def test_zero_budget_returns_empty_witness(self, fig1_query, fig1_instance):
+        instance = BagSetInstance(
+            fig1_instance.database, fig1_instance.repair_database, budget=0
+        )
+        value, added = optimal_repair(fig1_query, instance)
+        assert value == 1
+        assert added == frozenset()
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_witness_achieves_the_optimum(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=2, repair_facts_per_relation=3,
+            budget=2, domain_size=2, seed=rng,
+        )
+        value, added = optimal_repair(query, instance)
+        assert value == maximize(query, instance)
+        assert len(added) <= instance.budget
+        assert added <= set(instance.addable_facts())
+        repaired = instance.database.with_facts(added)
+        assert count_satisfying_assignments(query, repaired) == value

@@ -1,0 +1,146 @@
+"""Tests for free-variable (grouped) evaluation — per-answer K-annotations."""
+
+import random
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.probability import ExactProbabilityMonoid
+from repro.core.grouped import (
+    compile_grouped_plan,
+    evaluate_grouped,
+)
+from repro.db.database import Database
+from repro.db.evaluation import satisfying_assignments
+from repro.exceptions import NotHierarchicalError, QueryError
+from repro.query.families import q_eq1, q_h, star_query
+from repro.workloads.generators import (
+    random_database,
+    random_probabilistic_database,
+)
+
+
+class TestCompilation:
+    def test_root_variable_is_free(self):
+        plan = compile_grouped_plan(q_eq1(), {"A"})
+        assert plan.free_variables == {"A"}
+        assert "A" not in {
+            getattr(step, "variable", None) for step in plan.steps
+        }
+
+    def test_empty_free_set_matches_boolean_plan(self):
+        plan = compile_grouped_plan(q_eq1(), set())
+        from repro.core.plan import compile_plan
+
+        boolean = compile_plan(q_eq1())
+        assert len(plan.steps) == len(boolean.steps)
+
+    def test_unknown_free_variable_rejected(self):
+        with pytest.raises(QueryError):
+            compile_grouped_plan(q_eq1(), {"Z"})
+
+    def test_non_upward_closed_free_set_rejected(self):
+        # C sits below A in the hierarchy; freeing C alone strands A.
+        with pytest.raises(NotHierarchicalError):
+            compile_grouped_plan(q_eq1(), {"C"})
+
+    def test_upward_closed_pair_accepted(self):
+        plan = compile_grouped_plan(q_eq1(), {"A", "C"})
+        assert plan.free_variables == {"A", "C"}
+
+    def test_rendering(self):
+        plan = compile_grouped_plan(q_eq1(), {"A"})
+        assert "free variables (A)" in str(plan)
+
+
+class TestGroupedCounting:
+    """Counting semiring → GROUP BY COUNT of satisfying assignments."""
+
+    def _grouped_counts(self, query, free, database):
+        result = evaluate_grouped(
+            query, free, CountingSemiring(), database.facts(), lambda _f: 1
+        )
+        order = result.atom.variables
+        return {values: count for values, count in result.items()}, order
+
+    def test_fig1_grouped_by_a(self):
+        database = Database.from_relations(
+            {
+                "R": [(1, 5), (2, 6)],
+                "S": [(1, 1), (1, 2), (2, 3)],
+                "T": [(1, 2, 4), (2, 3, 7), (2, 3, 8)],
+            }
+        )
+        counts, order = self._grouped_counts(q_eq1(), {"A"}, database)
+        assert order == ("A",)
+        assert counts == {(1,): 1, (2,): 2}
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_assignment_grouping(self, seed):
+        rng = random.Random(seed)
+        query = star_query(rng.randint(1, 3))
+        database = random_database(
+            query, facts_per_relation=4, domain_size=3, seed=rng
+        )
+        counts, order = self._grouped_counts(query, {"X"}, database)
+        expected = Counter(
+            tuple(assignment[v] for v in order)
+            for assignment in satisfying_assignments(query, database)
+        )
+        assert counts == dict(expected)
+
+    def test_two_free_variables(self):
+        database = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4), (1, 2, 9)]}
+        )
+        counts, order = self._grouped_counts(q_eq1(), {"A", "C"}, database)
+        expected = Counter(
+            tuple(assignment[v] for v in order)
+            for assignment in satisfying_assignments(q_eq1(), database)
+        )
+        assert counts == dict(expected)
+
+
+class TestGroupedProbability:
+    """Probability 2-monoid → per-answer marginal probability."""
+
+    def test_against_possible_worlds(self):
+        query = q_h()
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=2, domain_size=2, seed=3, exact=True
+        )
+        result = evaluate_grouped(
+            query, {"Y"}, ExactProbabilityMonoid(), pdb.facts(),
+            lambda fact: pdb.probability(fact),
+        )
+        order = result.atom.variables
+        # Reference: enumerate worlds, accumulate probability per Y-answer.
+        from repro.problems.possible_worlds import ProbabilisticDatabase
+
+        reference: dict[tuple, Fraction] = {}
+        for world, probability in pdb.possible_worlds():
+            answers = {
+                tuple(assignment[v] for v in order)
+                for assignment in satisfying_assignments(query, world)
+            }
+            for answer in answers:
+                reference[answer] = reference.get(answer, Fraction(0)) + probability
+        computed = {values: p for values, p in result.items()}
+        assert computed == reference
+
+    def test_probabilities_bounded(self):
+        query = star_query(2)
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=6, domain_size=3, seed=9
+        )
+        result = evaluate_grouped(
+            query, {"X"}, ExactProbabilityMonoid().__class__(), pdb.facts(),
+            lambda fact: Fraction(pdb.probability(fact)).limit_denominator(10**6),
+        )
+        for _values, probability in result.items():
+            assert 0 <= probability <= 1

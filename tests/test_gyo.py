@@ -1,0 +1,43 @@
+"""Tests for GYO acyclicity."""
+
+from repro.query.bcq import make_query
+from repro.query.families import chain_query, q_eq1, q_h, q_nh, star_query
+from repro.query.gyo import is_acyclic
+
+
+class TestAcyclicity:
+    def test_hierarchical_examples_are_acyclic(self):
+        assert is_acyclic(q_eq1())
+        assert is_acyclic(q_h())
+        assert is_acyclic(star_query(3))
+
+    def test_qnh_is_acyclic(self):
+        """The key separating example: acyclic yet not hierarchical."""
+        assert is_acyclic(q_nh())
+
+    def test_chains_are_acyclic(self):
+        for length in (1, 2, 3, 6):
+            assert is_acyclic(chain_query(length))
+
+    def test_triangle_is_cyclic(self):
+        triangle = make_query([("R", "AB"), ("S", "BC"), ("T", "AC")])
+        assert not is_acyclic(triangle)
+
+    def test_square_cycle_is_cyclic(self):
+        square = make_query(
+            [("R", "AB"), ("S", "BC"), ("T", "CD"), ("U", "DA")]
+        )
+        assert not is_acyclic(square)
+
+    def test_triangle_with_guard_is_acyclic(self):
+        guarded = make_query(
+            [("R", "AB"), ("S", "BC"), ("T", "AC"), ("G", "ABC")]
+        )
+        assert is_acyclic(guarded)
+
+    def test_single_atom(self):
+        assert is_acyclic(make_query([("R", "ABC")]))
+        assert is_acyclic(make_query([("R", "")]))
+
+    def test_disconnected_acyclic(self):
+        assert is_acyclic(make_query([("R", "A"), ("S", "B")]))

@@ -1,0 +1,205 @@
+"""Tests for BCBS and the Theorem 4.4 reduction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReductionError
+from repro.hardness.bcbs import (
+    Graph,
+    complete_bipartite_graph,
+    find_balanced_biclique,
+    has_balanced_biclique,
+    max_balanced_biclique,
+)
+from repro.hardness.reduction import (
+    decide_bcbs_via_bsm,
+    decide_bsm_decision_smart,
+    extract_biclique_from_repair,
+    reduce_bcbs,
+)
+from repro.problems.bagset_max import maximize_brute_force
+from repro.query.bcq import make_query
+from repro.query.families import chain_query, q_eq1, q_nh
+from repro.workloads.graphs import (
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    planted_biclique_graph,
+)
+
+
+class TestGraphModel:
+    def test_from_edges(self):
+        graph = Graph.from_edges([(1, 2), (2, 3)])
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 2
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ReductionError):
+            Graph.from_edges([(1, 1)])
+
+    def test_isolated_vertices(self):
+        graph = Graph.from_edges([(1, 2)], vertices=[1, 2, 3])
+        assert graph.vertex_count == 3
+        assert graph.neighbors(3) == frozenset()
+
+    def test_neighbors(self):
+        graph = Graph.from_edges([(1, 2), (1, 3)])
+        assert graph.neighbors(1) == {2, 3}
+        assert graph.neighbors(2) == {1}
+
+
+class TestBCBSSolver:
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_graph(3, 3)
+        assert has_balanced_biclique(graph, 3)
+        assert not has_balanced_biclique(graph, 4)
+        assert max_balanced_biclique(graph) == 3
+
+    def test_unbalanced_bipartite(self):
+        graph = complete_bipartite_graph(2, 5)
+        assert max_balanced_biclique(graph) == 2
+
+    def test_single_edge(self):
+        graph = Graph.from_edges([(1, 2)])
+        assert has_balanced_biclique(graph, 1)
+        assert not has_balanced_biclique(graph, 2)
+
+    def test_path_graph(self):
+        assert max_balanced_biclique(path_graph(6)) == 1
+
+    def test_cycle_graph_of_four_is_k22(self):
+        """C4 = K_{2,2}: opposite vertex pairs form the parts."""
+        assert has_balanced_biclique(cycle_graph(4), 2)
+        assert not has_balanced_biclique(cycle_graph(5), 2)
+
+    def test_edgeless_graph(self):
+        graph = Graph.from_edges([], vertices=[1, 2, 3])
+        assert max_balanced_biclique(graph) == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ReductionError):
+            has_balanced_biclique(path_graph(3), 0)
+
+    def test_found_biclique_is_complete(self):
+        graph, part_one, part_two = planted_biclique_graph(8, 2, noise=0.2, seed=3)
+        found = find_balanced_biclique(graph, 2)
+        assert found is not None
+        u1, u2 = found
+        assert len(u1) == len(u2) == 2
+        assert not (u1 & u2)
+        for u in u1:
+            for v in u2:
+                assert graph.has_edge(u, v)
+
+    def test_planted_biclique_found(self):
+        graph, _, _ = planted_biclique_graph(10, 3, noise=0.1, seed=0)
+        assert has_balanced_biclique(graph, 3)
+
+
+class TestReductionConstruction:
+    def test_sizes_match_theorem(self):
+        graph = gnp_random_graph(5, 0.5, seed=1)
+        output = reduce_bcbs(q_nh(), graph, 2)
+        assert output.budget == 4
+        assert output.target == 4
+        # D holds only S facts (one per edge orientation); Dr one R and one
+        # T fact per vertex.
+        assert len(output.instance.database) == 2 * graph.edge_count
+        assert len(output.instance.repair_database) == 2 * graph.vertex_count
+
+    def test_base_has_no_r_or_t_facts(self):
+        graph = gnp_random_graph(4, 0.5, seed=2)
+        output = reduce_bcbs(q_nh(), graph, 1)
+        witness = output.witness
+        assert not output.instance.database.tuples(witness.atom_r.relation)
+        assert not output.instance.database.tuples(witness.atom_t.relation)
+
+    def test_hierarchical_query_rejected(self):
+        with pytest.raises(ReductionError):
+            reduce_bcbs(q_eq1(), path_graph(3), 1)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ReductionError):
+            reduce_bcbs(q_nh(), path_graph(3), 0)
+
+    def test_empty_graph_rejected(self):
+        empty = Graph(frozenset(), frozenset())
+        with pytest.raises(ReductionError):
+            reduce_bcbs(q_nh(), empty, 1)
+
+
+class TestReductionCorrectness:
+    """The (1) ⇔ (2) equivalence of Theorem 4.4 on small graphs."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_yes_instances(self, k):
+        graph = complete_bipartite_graph(k, k)
+        assert decide_bcbs_via_bsm(q_nh(), graph, k)
+
+    def test_no_instance(self):
+        assert not decide_bcbs_via_bsm(q_nh(), path_graph(4), 2)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_equivalence_on_random_graphs(self, seed):
+        rng = random.Random(seed)
+        graph = gnp_random_graph(5, 0.5, seed=rng)
+        if graph.edge_count == 0:
+            return
+        k = rng.randint(1, 2)
+        direct = has_balanced_biclique(graph, k)
+        via_reduction = decide_bcbs_via_bsm(q_nh(), graph, k)
+        assert direct == via_reduction
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_smart_solver_agrees_with_blind_brute_force(self, seed):
+        rng = random.Random(seed)
+        graph = gnp_random_graph(4, 0.6, seed=rng)
+        if graph.edge_count == 0:
+            return
+        output = reduce_bcbs(q_nh(), graph, 1)
+        smart = decide_bsm_decision_smart(output)
+        blind = maximize_brute_force(q_nh(), output.instance) >= output.target
+        assert smart == blind
+
+    def test_reduction_works_for_other_non_hierarchical_queries(self):
+        """Theorem 4.4 covers every non-hierarchical query, not just q_nh."""
+        for query in (
+            chain_query(3),
+            make_query([("R", "AX"), ("S", "ABY"), ("T", "BZ")]),
+        ):
+            graph = complete_bipartite_graph(2, 2)
+            assert decide_bcbs_via_bsm(query, graph, 2)
+            assert not decide_bcbs_via_bsm(query, path_graph(4), 2)
+
+    def test_biclique_extraction(self):
+        graph = complete_bipartite_graph(2, 2)
+        output = reduce_bcbs(q_nh(), graph, 2)
+        witness = output.witness
+        u_side = [
+            f for f in output.instance.addable_facts()
+            if f.relation == witness.atom_r.relation
+            and f.values[witness.atom_r.variables.index(witness.variable_a)][0] == "u"
+        ]
+        v_side = [
+            f for f in output.instance.addable_facts()
+            if f.relation == witness.atom_t.relation
+            and f.values[witness.atom_t.variables.index(witness.variable_b)][0] == "v"
+        ]
+        repaired = output.instance.database.with_facts(u_side + v_side)
+        from repro.db.evaluation import count_satisfying_assignments
+
+        assert count_satisfying_assignments(q_nh(), repaired) >= output.target
+        part_one, part_two = extract_biclique_from_repair(output, repaired)
+        assert len(part_one) == 2 and len(part_two) == 2
+        for u in part_one:
+            for v in part_two:
+                assert graph.has_edge(u, v)

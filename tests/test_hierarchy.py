@@ -1,0 +1,131 @@
+"""Tests for the three equivalent hierarchicality characterizations.
+
+The pairwise at-set definition (`is_hierarchical`), the elimination procedure
+(Proposition 5.1), and the variable-tree construction (Proposition 5.5) must
+agree on every query; hypothesis drives that equivalence on random queries.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.elimination import is_hierarchical_by_elimination
+from repro.query.families import (
+    chain_query,
+    forest_query,
+    q_disconnected,
+    q_eq1,
+    q_example_53,
+    q_h,
+    q_nh,
+    random_hierarchical_query,
+    random_query,
+    star_query,
+    telescope_query,
+)
+from repro.query.gyo import is_acyclic
+from repro.query.hierarchy import (
+    atom_sets,
+    find_non_hierarchical_witness,
+    is_hierarchical,
+)
+from repro.query.tree import is_hierarchical_by_tree
+
+
+class TestNamedQueries:
+    def test_paper_examples(self):
+        assert is_hierarchical(q_eq1())
+        assert is_hierarchical(q_h())
+        assert is_hierarchical(q_disconnected())
+        assert not is_hierarchical(q_nh())
+        assert not is_hierarchical(q_example_53())
+
+    def test_families(self):
+        for k in (1, 2, 3, 5):
+            assert is_hierarchical(star_query(k))
+            assert is_hierarchical(telescope_query(k))
+        assert is_hierarchical(forest_query(2, 3))
+        assert is_hierarchical(chain_query(1))
+        assert is_hierarchical(chain_query(2))
+        assert not is_hierarchical(chain_query(3))
+        assert not is_hierarchical(chain_query(5))
+
+    def test_single_atom_queries(self):
+        from repro.query.bcq import make_query
+
+        assert is_hierarchical(make_query([("R", "ABC")]))
+        assert is_hierarchical(make_query([("R", "")]))
+
+
+class TestAtomSets:
+    def test_at_sets_of_eq1(self):
+        at = atom_sets(q_eq1())
+        assert {a.relation for a in at["A"]} == {"R", "S", "T"}
+        assert {a.relation for a in at["C"]} == {"S", "T"}
+        assert {a.relation for a in at["D"]} == {"T"}
+
+    def test_no_variables(self):
+        from repro.query.bcq import make_query
+
+        assert atom_sets(make_query([("R", "")])) == {}
+
+
+class TestWitness:
+    def test_witness_structure_on_qnh(self):
+        witness = find_non_hierarchical_witness(q_nh())
+        assert witness is not None
+        # A occurs in R and S but not T; B occurs in S and T but not R.
+        assert witness.atom_s.contains(witness.variable_a)
+        assert witness.atom_s.contains(witness.variable_b)
+        assert witness.atom_r.contains(witness.variable_a)
+        assert not witness.atom_r.contains(witness.variable_b)
+        assert witness.atom_t.contains(witness.variable_b)
+        assert not witness.atom_t.contains(witness.variable_a)
+
+    def test_no_witness_for_hierarchical(self):
+        assert find_non_hierarchical_witness(q_eq1()) is None
+
+    def test_witness_on_chain(self):
+        witness = find_non_hierarchical_witness(chain_query(3))
+        assert witness is not None
+
+
+class TestHierarchicalVsAcyclic:
+    def test_qnh_is_acyclic_but_not_hierarchical(self):
+        """The strict inclusion the paper stresses (Section 5.1)."""
+        assert is_acyclic(q_nh())
+        assert not is_hierarchical(q_nh())
+
+    def test_hierarchical_implies_acyclic_on_random_queries(self):
+        rng = random.Random(42)
+        for _ in range(200):
+            query = random_query(rng)
+            if is_hierarchical(query):
+                assert is_acyclic(query), f"hierarchical but cyclic: {query}"
+
+    def test_triangle_is_cyclic(self):
+        from repro.query.bcq import make_query
+
+        triangle = make_query([("R", "AB"), ("S", "BC"), ("T", "AC")])
+        assert not is_acyclic(triangle)
+        assert not is_hierarchical(triangle)
+
+
+class TestThreeDefinitionsAgree:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_equivalence_on_random_queries(self, seed):
+        query = random_query(random.Random(seed))
+        pairwise = is_hierarchical(query)
+        by_elimination = is_hierarchical_by_elimination(query)
+        by_tree = is_hierarchical_by_tree(query)
+        assert pairwise == by_elimination == by_tree, str(query)
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_generated_hierarchical_queries_are_hierarchical(self, seed):
+        query = random_hierarchical_query(random.Random(seed))
+        assert is_hierarchical(query)
+        assert is_hierarchical_by_elimination(query)
+        assert is_hierarchical_by_tree(query)

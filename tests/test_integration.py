@@ -1,0 +1,167 @@
+"""Cross-module integration tests: the paper's theorems as executable checks.
+
+These tests tie everything together: random hierarchical queries, random
+instances, three independent code paths per problem (direct 2-monoid run,
+brute-force baseline, φ-evaluation of the read-once lineage), plus the
+structural invariants of Section 6 (Lemma 6.6 and Theorem 6.7).
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.bagset import BagSetMonoid
+from repro.algebra.probability import ExactProbabilityMonoid
+from repro.algebra.shapley import ShapleyMonoid
+from repro.core.algorithm import evaluate_hierarchical, execute_plan
+from repro.core.instrument import CountingMonoid
+from repro.core.plan import compile_plan
+from repro.db.annotated import KDatabase
+from repro.problems.bagset_max import annotation_psi as bsm_psi
+from repro.problems.bagset_max import (
+    maximize,
+    maximize_brute_force,
+    maximize_via_lineage,
+)
+from repro.problems.pqe import (
+    marginal_probability,
+    marginal_probability_brute_force,
+    marginal_probability_via_lineage,
+)
+from repro.problems.shapley import annotation_psi as shapley_psi
+from repro.problems.shapley import (
+    sat_counts,
+    sat_counts_brute_force,
+    sat_counts_via_lineage,
+)
+from repro.query.families import random_hierarchical_query
+from repro.workloads.generators import (
+    random_bagset_instance,
+    random_database,
+    random_probabilistic_database,
+    random_shapley_instance,
+)
+
+
+class TestThreeWayAgreementPQE:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_direct_brute_lineage_agree(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=2, domain_size=2, seed=rng, exact=True
+        )
+        if len(pdb) > 11:
+            return
+        direct = marginal_probability(query, pdb, exact=True)
+        brute = marginal_probability_brute_force(query, pdb, exact=True)
+        lineage = marginal_probability_via_lineage(query, pdb, exact=True)
+        assert direct == brute == lineage
+
+
+class TestThreeWayAgreementBSM:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_direct_brute_lineage_agree(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=2, repair_facts_per_relation=3,
+            budget=2, domain_size=2, seed=rng,
+        )
+        if len(instance.addable_facts()) > 9:
+            return
+        direct = maximize(query, instance)
+        brute = maximize_brute_force(query, instance)
+        lineage = maximize_via_lineage(query, instance)
+        assert direct == brute == lineage
+
+
+class TestThreeWayAgreementShapley:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_direct_brute_lineage_agree(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        instance = random_shapley_instance(
+            query, facts_per_relation=2, domain_size=2, seed=rng,
+        )
+        if instance.endogenous_count > 9:
+            return
+        direct = sat_counts(query, instance)
+        brute = sat_counts_brute_force(query, instance)
+        lineage = sat_counts_via_lineage(query, instance)
+        assert direct == brute == lineage
+
+
+class TestLemma66SupportNeverIncreases:
+    """Lemma 6.6: throughout Algorithm 1 the total support never grows."""
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_max_live_support_bounded_by_input(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=4, max_atoms=4)
+        database = random_database(
+            query, facts_per_relation=4, domain_size=3, seed=rng
+        )
+        for monoid, psi in self._instantiations(query, database, rng):
+            annotated = KDatabase.annotate(query, monoid, database.facts(), psi)
+            input_size = annotated.size()
+            plan = compile_plan(query)
+            report = execute_plan(plan, annotated)
+            assert report.max_live_support <= input_size
+
+    @staticmethod
+    def _instantiations(query, database, rng):
+        exact = ExactProbabilityMonoid()
+        yield exact, lambda _f: Fraction(1, 2)
+        bag = BagSetMonoid(3)
+        yield bag, lambda _f: bag.one
+        shap = ShapleyMonoid(4)
+        yield shap, lambda _f: shap.star
+
+
+class TestTheorem67LinearOperations:
+    """Theorem 6.7: Algorithm 1 performs O(|D|) ⊕/⊗ operations."""
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_operation_count_linear_in_input(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=4, max_atoms=4)
+        database = random_database(
+            query, facts_per_relation=5, domain_size=3, seed=rng
+        )
+        monoid = CountingMonoid(ExactProbabilityMonoid())
+        evaluate_hierarchical(
+            query, monoid, database.facts(), lambda _f: Fraction(1, 2)
+        )
+        size = max(1, len(database))
+        # Each fact participates in at most one ⊕-group and one ⊗-join per
+        # plan step it survives; the per-fact constant depends only on |Q|.
+        per_query_constant = 2 * (len(query.atoms) + len(query.variables)) + 2
+        assert monoid.operation_count <= per_query_constant * size
+
+
+class TestPsiAnnotations:
+    def test_bsm_psi_values(self, fig1_query, fig1_instance):
+        monoid = BagSetMonoid(3)
+        psi = bsm_psi(fig1_instance, monoid)
+        from repro.db.fact import Fact
+
+        assert psi(Fact("R", (1, 5))) == monoid.one        # in D
+        assert psi(Fact("R", (1, 6))) == monoid.star       # in Dr \ D
+        assert psi(Fact("R", (9, 9))) == monoid.zero       # in neither
+
+    def test_shapley_psi_values(self, fig1_query, small_shapley_instance):
+        monoid = ShapleyMonoid(3)
+        psi = shapley_psi(small_shapley_instance, monoid)
+        from repro.db.fact import Fact
+
+        assert psi(Fact("S", (1, 1))) == monoid.one        # exogenous
+        assert psi(Fact("R", (1, 5))) == monoid.star       # endogenous
+        assert psi(Fact("T", (9, 9, 9))) == monoid.zero    # absent

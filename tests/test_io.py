@@ -1,0 +1,48 @@
+"""Tests for database JSON serialization."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.exceptions import SchemaError
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        database = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        assert database_from_dict(database_to_dict(database)) == database
+
+    def test_file_round_trip(self, tmp_path):
+        database = Database.from_relations({"R": [(1, "x")], "S": [(2.5, None)]})
+        path = tmp_path / "db.json"
+        save_database(database, path)
+        assert load_database(path) == database
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_database(Database(), path)
+        assert len(load_database(path)) == 0
+
+    def test_deterministic_output(self, tmp_path):
+        database = Database.from_relations({"B": [(2,), (1,)], "A": [(3,)]})
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        save_database(database, first)
+        save_database(database, second)
+        assert first.read_text() == second.read_text()
+
+
+class TestErrors:
+    def test_missing_relations_key(self):
+        with pytest.raises(SchemaError):
+            database_from_dict({})
+
+    def test_wrong_relations_type(self):
+        with pytest.raises(SchemaError):
+            database_from_dict({"relations": [1, 2]})

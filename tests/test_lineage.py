@@ -1,0 +1,94 @@
+"""Tests for lineage construction: Lemma 6.3 (decomposability) and the
+logical equivalence of read-once vs naive DNF lineage (Theorem 6.4's engine).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lineage import (
+    equivalent_boolean_functions,
+    naive_lineage,
+    powerset,
+    read_once_lineage,
+)
+from repro.db.database import Database
+from repro.query.families import (
+    q_eq1,
+    q_h,
+    random_hierarchical_query,
+)
+from repro.workloads.generators import random_database
+
+
+class TestNaiveLineage:
+    def test_empty_database_is_false(self):
+        assert naive_lineage(q_h(), Database()).is_false
+
+    def test_single_assignment(self):
+        database = Database.from_relations({"E": [(1, 2)], "F": [(2, 3)]})
+        lineage = naive_lineage(q_h(), database)
+        assert len(lineage.support) == 2
+
+    def test_shared_fact_breaks_decomposability(self):
+        # E(1,2) joins with two F facts: the DNF repeats the E fact.
+        database = Database.from_relations({"E": [(1, 2)], "F": [(2, 3), (2, 4)]})
+        lineage = naive_lineage(q_h(), database)
+        assert not lineage.is_decomposable
+
+
+class TestReadOnceLineage:
+    def test_fig1_lineage_is_decomposable(self):
+        database = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        lineage = read_once_lineage(q_eq1(), database)
+        assert lineage.is_decomposable
+        assert len(lineage.support) == len(database) - 1  # S(1,1) is dangling
+
+    def test_empty_database_is_false(self):
+        assert read_once_lineage(q_h(), Database()).is_false
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_6_3_decomposability(self, seed):
+        """Lemma 6.3: Algorithm 1 over the provenance 2-monoid always
+        produces decomposable trees on hierarchical queries."""
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=4, max_atoms=4)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=3, seed=rng
+        )
+        lineage = read_once_lineage(query, database)
+        assert lineage.is_decomposable
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_read_once_equivalent_to_naive(self, seed):
+        """The two lineage constructions define the same Boolean function."""
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        database = random_database(
+            query, facts_per_relation=2, domain_size=2, seed=rng
+        )
+        read_once = read_once_lineage(query, database)
+        naive = naive_lineage(query, database)
+        symbols = read_once.support | naive.support
+        if len(symbols) <= 10:
+            assert equivalent_boolean_functions(read_once, naive, symbols)
+
+
+class TestHelpers:
+    def test_equivalent_boolean_functions_detects_difference(self):
+        from repro.algebra.provenance import conjoin, disjoin, leaf
+
+        left = conjoin(leaf("a"), leaf("b"))
+        right = disjoin(leaf("a"), leaf("b"))
+        assert not equivalent_boolean_functions(left, right)
+        assert equivalent_boolean_functions(left, left)
+
+    def test_powerset(self):
+        subsets = list(powerset([1, 2]))
+        assert len(subsets) == 4
+        assert () in subsets and (1, 2) in subsets

@@ -1,0 +1,86 @@
+"""Unit tests for the query parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.query.atoms import Atom
+from repro.query.parser import parse_query
+
+
+class TestBasicParsing:
+    def test_full_form(self):
+        q = parse_query("Q() :- R(A, B), S(A, C), T(A, C, D)")
+        assert q.relation_symbols == ("R", "S", "T")
+        assert q.atom_for("T") == Atom("T", ("A", "C", "D"))
+
+    def test_head_without_parens(self):
+        q = parse_query("Q :- R(A)")
+        assert q.name == "Q"
+
+    def test_headless_form(self):
+        q = parse_query("R(A,B), S(A,C)")
+        assert q.name == "Q"
+        assert len(q) == 2
+
+    def test_custom_head_name(self):
+        q = parse_query("MyQuery() :- R(A)")
+        assert q.name == "MyQuery"
+
+    def test_name_override(self):
+        q = parse_query("Q() :- R(A)", name="Override")
+        assert q.name == "Override"
+
+    def test_nullary_atom(self):
+        q = parse_query("Q() :- R(), S(A)")
+        assert q.atom_for("R").is_nullary
+
+
+class TestSeparators:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "R(A,B), S(B,C)",
+            "R(A,B) & S(B,C)",
+            "R(A,B) && S(B,C)",
+            "R(A,B) ∧ S(B,C)",
+            "R(A,B) and S(B,C)",
+        ],
+    )
+    def test_all_separators(self, text):
+        q = parse_query(text)
+        assert q.relation_symbols == ("R", "S")
+
+
+class TestWhitespace:
+    def test_whitespace_insensitive(self):
+        a = parse_query("Q() :- R(A,B),S(A,C)")
+        b = parse_query("  Q()   :-   R( A , B ) ,  S( A , C )  ")
+        assert a.atoms == b.atoms
+
+    def test_primed_names(self):
+        q = parse_query("Q() :- R'(A), S''(B)")
+        assert q.relation_symbols == ("R'", "S''")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "Q() :-",
+            "Q() :- R(A,,B)",
+            "Q() :- R(A) S(B)",
+            "Q() :- R(A),",
+            "() :- R(A)",
+            "R(A,B) extra",
+            "Q() :- R(A B)",
+        ],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_roundtrip_through_str(self):
+        q = parse_query("Q() :- R(A, B), S(A, C)")
+        assert parse_query(str(q)).atoms == q.atoms

@@ -1,0 +1,85 @@
+"""Tests for plan compilation (the Algorithm 1 front-end)."""
+
+import pytest
+
+from repro.core.plan import MergeStep, Plan, ProjectStep, compile_plan, plan_from_trace
+from repro.exceptions import NotHierarchicalError
+from repro.query.elimination import eliminate
+from repro.query.families import (
+    q_disconnected,
+    q_eq1,
+    q_nh,
+    star_query,
+    telescope_query,
+)
+
+
+class TestCompilation:
+    def test_eq1_plan(self):
+        plan = compile_plan(q_eq1())
+        assert plan.project_count == 4
+        assert plan.merge_count == 2
+        assert plan.final_relation.endswith("'")
+
+    def test_non_hierarchical_rejected(self):
+        with pytest.raises(NotHierarchicalError):
+            compile_plan(q_nh())
+
+    def test_plan_from_failed_trace_rejected(self):
+        trace = eliminate(q_nh())
+        with pytest.raises(NotHierarchicalError):
+            plan_from_trace(trace)
+
+    def test_plan_mirrors_trace(self):
+        trace = eliminate(q_eq1())
+        plan = plan_from_trace(trace)
+        assert len(plan.steps) == len(trace.steps)
+
+    def test_disconnected_plan(self):
+        plan = compile_plan(q_disconnected())
+        assert plan.merge_count == 1
+        assert plan.project_count == 2
+
+    def test_star_plan_shape(self):
+        plan = compile_plan(star_query(3))
+        # 3 private Y-projections + 2 merges + 1 X-projection.
+        assert plan.project_count == 4
+        assert plan.merge_count == 2
+
+    def test_telescope_plan_shape(self):
+        plan = compile_plan(telescope_query(3))
+        assert plan.project_count == 3
+        assert plan.merge_count == 2
+
+
+class TestPlanStructure:
+    def test_steps_connect(self):
+        """Each step consumes relations produced earlier (or inputs)."""
+        plan = compile_plan(q_eq1())
+        available = {atom.relation for atom in q_eq1().atoms}
+        for step in plan.steps:
+            if isinstance(step, ProjectStep):
+                assert step.source.relation in available
+                available.discard(step.source.relation)
+            else:
+                assert isinstance(step, MergeStep)
+                assert step.first.relation in available
+                assert step.second.relation in available
+                available.discard(step.first.relation)
+                available.discard(step.second.relation)
+            available.add(step.target.relation)
+        assert available == {plan.final_relation}
+
+    def test_rendering(self):
+        plan = compile_plan(q_eq1())
+        rendered = str(plan)
+        assert "plan for" in rendered
+        assert "⊕" in rendered and "⊗" in rendered
+        assert f"return {plan.final_relation}()" in rendered
+
+    def test_policy_changes_plan_not_semantics(self):
+        a = compile_plan(star_query(3), policy="rule1_first")
+        b = compile_plan(star_query(3), policy="rule2_first")
+        assert a.final_relation != b.final_relation or a.steps != b.steps
+        assert a.project_count == b.project_count
+        assert a.merge_count == b.merge_count

@@ -1,0 +1,73 @@
+"""Tests for tuple-independent probabilistic databases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.db.fact import Fact
+from repro.exceptions import AlgebraError
+from repro.problems.possible_worlds import ProbabilisticDatabase
+
+
+class TestConstruction:
+    def test_probabilities_stored(self):
+        pdb = ProbabilisticDatabase({Fact("R", (1,)): 0.5})
+        assert pdb.probability(Fact("R", (1,))) == 0.5
+        assert pdb.probability(Fact("R", (2,))) == 0
+        assert len(pdb) == 1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(AlgebraError):
+            ProbabilisticDatabase({Fact("R", (1,)): 1.5})
+        with pytest.raises(AlgebraError):
+            ProbabilisticDatabase({Fact("R", (1,)): -0.2})
+
+    def test_uniform(self):
+        facts = [Fact("R", (i,)) for i in range(3)]
+        pdb = ProbabilisticDatabase.uniform(facts, 0.25)
+        assert all(pdb.probability(f) == 0.25 for f in facts)
+
+    def test_support_database(self):
+        pdb = ProbabilisticDatabase({Fact("R", (1,)): 0.5, Fact("S", (2,)): 0.1})
+        assert len(pdb.support_database()) == 2
+
+    def test_as_exact(self):
+        pdb = ProbabilisticDatabase({Fact("R", (1,)): 0.5}).as_exact()
+        assert pdb.probability(Fact("R", (1,))) == Fraction(1, 2)
+
+
+class TestPossibleWorlds:
+    def test_world_count(self):
+        facts = {Fact("R", (i,)): Fraction(1, 2) for i in range(3)}
+        worlds = list(ProbabilisticDatabase(facts).possible_worlds())
+        assert len(worlds) == 8
+
+    def test_probabilities_sum_to_one(self):
+        facts = {
+            Fact("R", (1,)): Fraction(1, 3),
+            Fact("R", (2,)): Fraction(2, 5),
+            Fact("S", (1,)): Fraction(9, 10),
+        }
+        total = sum(p for _, p in ProbabilisticDatabase(facts).possible_worlds())
+        assert total == 1
+
+    def test_certain_fact_always_present(self):
+        facts = {Fact("R", (1,)): Fraction(1), Fact("R", (2,)): Fraction(1, 2)}
+        for world, _p in ProbabilisticDatabase(facts).possible_worlds():
+            assert Fact("R", (1,)) in world
+
+    def test_impossible_fact_never_present(self):
+        facts = {Fact("R", (1,)): Fraction(0), Fact("R", (2,)): Fraction(1, 2)}
+        worlds = list(ProbabilisticDatabase(facts).possible_worlds())
+        assert len(worlds) == 2
+        for world, _p in worlds:
+            assert Fact("R", (1,)) not in world
+
+    def test_world_probability_values(self):
+        facts = {Fact("R", (1,)): Fraction(1, 4)}
+        worlds = dict(
+            (len(world), p)
+            for world, p in ProbabilisticDatabase(facts).possible_worlds()
+        )
+        assert worlds[1] == Fraction(1, 4)
+        assert worlds[0] == Fraction(3, 4)

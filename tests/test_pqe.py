@@ -1,0 +1,156 @@
+"""Tests for Probabilistic Query Evaluation (Theorem 5.8).
+
+The unified algorithm must agree exactly (over rationals) with possible-world
+enumeration, and with the φ-evaluation of the read-once lineage — three
+independent code paths for the same quantity.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.fact import Fact
+from repro.exceptions import NotHierarchicalError
+from repro.problems.possible_worlds import ProbabilisticDatabase
+from repro.problems.pqe import (
+    marginal_probability,
+    marginal_probability_brute_force,
+    marginal_probability_via_lineage,
+)
+from repro.query.families import q_eq1, q_h, q_nh, random_hierarchical_query
+from repro.workloads.generators import random_probabilistic_database
+
+
+class TestClosedForms:
+    def test_single_fact_query(self):
+        from repro.query.bcq import make_query
+
+        query = make_query([("R", "A")])
+        pdb = ProbabilisticDatabase({Fact("R", (1,)): Fraction(1, 3)})
+        assert marginal_probability(query, pdb, exact=True) == Fraction(1, 3)
+
+    def test_two_independent_facts_disjunction(self):
+        from repro.query.bcq import make_query
+
+        query = make_query([("R", "A")])
+        pdb = ProbabilisticDatabase(
+            {Fact("R", (1,)): Fraction(1, 2), Fact("R", (2,)): Fraction(1, 2)}
+        )
+        # P[∃A R(A)] = 1 - (1/2)² = 3/4.
+        assert marginal_probability(query, pdb, exact=True) == Fraction(3, 4)
+
+    def test_conjunction_of_independent_relations(self):
+        from repro.query.bcq import make_query
+
+        query = make_query([("R", "A"), ("S", "B")])
+        pdb = ProbabilisticDatabase(
+            {Fact("R", (1,)): Fraction(1, 2), Fact("S", (1,)): Fraction(1, 3)}
+        )
+        assert marginal_probability(query, pdb, exact=True) == Fraction(1, 6)
+
+    def test_qh_hand_computed(self):
+        """E(X,Y) ∧ F(Y,Z) with one E and two F facts on the same Y."""
+        pdb = ProbabilisticDatabase(
+            {
+                Fact("E", (1, 2)): Fraction(1, 2),
+                Fact("F", (2, 5)): Fraction(1, 2),
+                Fact("F", (2, 6)): Fraction(1, 2),
+            }
+        )
+        # P = P[E] · (1 - (1-1/2)²) = 1/2 · 3/4.
+        assert marginal_probability(q_h(), pdb, exact=True) == Fraction(3, 8)
+
+    def test_empty_database_probability_zero(self):
+        assert marginal_probability(q_h(), ProbabilisticDatabase({})) == 0.0
+
+    def test_certain_facts_probability_one(self):
+        pdb = ProbabilisticDatabase(
+            {Fact("E", (1, 2)): Fraction(1), Fact("F", (2, 3)): Fraction(1)}
+        )
+        assert marginal_probability(q_h(), pdb, exact=True) == 1
+
+
+class TestDichotomySide:
+    def test_non_hierarchical_rejected(self):
+        pdb = ProbabilisticDatabase({Fact("R", (1,)): 0.5})
+        with pytest.raises(NotHierarchicalError):
+            marginal_probability(q_nh(), pdb)
+
+
+class TestAgainstBruteForce:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_agreement_on_eq1(self, seed):
+        pdb = random_probabilistic_database(
+            q_eq1(), facts_per_relation=2, domain_size=2, seed=seed, exact=True
+        )
+        unified = marginal_probability(q_eq1(), pdb, exact=True)
+        brute = marginal_probability_brute_force(q_eq1(), pdb, exact=True)
+        assert unified == brute
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_agreement_on_random_hierarchical_queries(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=2, domain_size=2, seed=rng, exact=True
+        )
+        if len(pdb) > 12:
+            return
+        unified = marginal_probability(query, pdb, exact=True)
+        brute = marginal_probability_brute_force(query, pdb, exact=True)
+        assert unified == brute
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lineage_route_agrees(self, seed):
+        """Theorem 6.4: φ(provenance tree) equals the direct instantiation."""
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        pdb = random_probabilistic_database(
+            query, facts_per_relation=2, domain_size=2, seed=rng, exact=True
+        )
+        direct = marginal_probability(query, pdb, exact=True)
+        via_lineage = marginal_probability_via_lineage(query, pdb, exact=True)
+        assert direct == via_lineage
+
+    def test_float_mode_close_to_exact(self):
+        pdb = random_probabilistic_database(
+            q_eq1(), facts_per_relation=3, domain_size=2, seed=5, exact=True
+        )
+        exact = marginal_probability(q_eq1(), pdb, exact=True)
+        as_float = marginal_probability(
+            q_eq1(),
+            ProbabilisticDatabase(
+                {f: float(pdb.probability(f)) for f in pdb.facts()}
+            ),
+        )
+        assert as_float == pytest.approx(float(exact), abs=1e-9)
+
+
+class TestMonotonicity:
+    def test_probability_in_unit_interval(self):
+        for seed in range(10):
+            pdb = random_probabilistic_database(
+                q_eq1(), facts_per_relation=4, domain_size=3, seed=seed
+            )
+            p = marginal_probability(q_eq1(), pdb)
+            assert 0.0 <= p <= 1.0
+
+    def test_raising_a_probability_cannot_lower_the_answer(self):
+        pdb = random_probabilistic_database(
+            q_eq1(), facts_per_relation=3, domain_size=2, seed=11
+        )
+        base = marginal_probability(q_eq1(), pdb)
+        target = pdb.facts()[0]
+        raised = ProbabilisticDatabase(
+            {
+                fact: (1.0 if fact == target else pdb.probability(fact))
+                for fact in pdb.facts()
+            }
+        )
+        assert marginal_probability(q_eq1(), raised) >= base - 1e-12

@@ -1,0 +1,118 @@
+"""Tests for the probability 2-monoid (Definition 5.7)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_distributivity_violation,
+)
+from repro.algebra.probability import ExactProbabilityMonoid, ProbabilityMonoid
+from repro.exceptions import AlgebraError
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestOperations:
+    def test_mul_is_product(self):
+        monoid = ProbabilityMonoid()
+        assert monoid.mul(0.5, 0.5) == 0.25
+
+    def test_add_is_disjunction(self):
+        monoid = ProbabilityMonoid()
+        assert monoid.add(0.5, 0.5) == pytest.approx(0.75)
+        assert monoid.add(0.3, 0.4) == pytest.approx(0.3 + 0.4 - 0.12)
+
+    def test_identities(self):
+        monoid = ProbabilityMonoid()
+        assert monoid.zero == 0.0
+        assert monoid.one == 1.0
+        assert monoid.add(0.7, monoid.zero) == pytest.approx(0.7)
+        assert monoid.mul(0.7, monoid.one) == pytest.approx(0.7)
+
+    def test_add_saturates_at_one(self):
+        monoid = ProbabilityMonoid()
+        assert monoid.add(1.0, 0.4) == pytest.approx(1.0)
+
+    def test_annihilates(self):
+        assert ProbabilityMonoid().annihilates
+
+    def test_validate(self):
+        monoid = ProbabilityMonoid()
+        assert monoid.validate(0.5) == 0.5
+        with pytest.raises(AlgebraError):
+            monoid.validate(1.5)
+        with pytest.raises(AlgebraError):
+            monoid.validate(-0.1)
+
+
+class TestLaws:
+    @given(
+        a=probabilities, b=probabilities, c=probabilities
+    )
+    @settings(max_examples=200)
+    def test_axioms_hold_pointwise(self, a, b, c):
+        monoid = ProbabilityMonoid(tolerance=1e-9)
+        assert monoid.eq(monoid.add(a, b), monoid.add(b, a))
+        assert monoid.eq(monoid.mul(a, b), monoid.mul(b, a))
+        assert monoid.eq(
+            monoid.add(monoid.add(a, b), c), monoid.add(a, monoid.add(b, c))
+        )
+        assert monoid.eq(
+            monoid.mul(monoid.mul(a, b), c), monoid.mul(a, monoid.mul(b, c))
+        )
+
+    def test_law_census(self):
+        monoid = ProbabilityMonoid(tolerance=1e-9)
+        samples = [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert check_two_monoid_laws(monoid, samples) == []
+
+    def test_not_distributive(self):
+        """The paper's point: ⊗ does not distribute over ⊕ (Section 2)."""
+        monoid = ProbabilityMonoid()
+        violation = find_distributivity_violation(
+            monoid, [0.3, 0.5, 0.9]
+        )
+        assert violation is not None
+
+    def test_explicit_distributivity_counterexample(self):
+        monoid = ProbabilityMonoid()
+        left = monoid.mul(0.5, monoid.add(0.5, 0.5))      # 0.5 · 0.75
+        right = monoid.add(monoid.mul(0.5, 0.5), monoid.mul(0.5, 0.5))
+        assert left == pytest.approx(0.375)
+        assert right == pytest.approx(0.4375)
+        assert left != pytest.approx(right)
+
+
+class TestExactMonoid:
+    def test_exact_arithmetic(self):
+        monoid = ExactProbabilityMonoid()
+        half = Fraction(1, 2)
+        assert monoid.add(half, half) == Fraction(3, 4)
+        assert monoid.mul(half, half) == Fraction(1, 4)
+        assert monoid.zero == Fraction(0)
+        assert monoid.one == Fraction(1)
+
+    def test_validate_rejects_floats(self):
+        with pytest.raises(AlgebraError):
+            ExactProbabilityMonoid().validate(0.5)
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(AlgebraError):
+            ExactProbabilityMonoid().validate(Fraction(3, 2))
+
+    def test_exact_equality(self):
+        monoid = ExactProbabilityMonoid()
+        assert monoid.eq(Fraction(1, 3), Fraction(1, 3))
+        assert not monoid.eq(Fraction(1, 3), Fraction(1, 3) + Fraction(1, 10**9))
+
+    def test_folds(self):
+        monoid = ExactProbabilityMonoid()
+        values = [Fraction(1, 2), Fraction(1, 2), Fraction(1, 2)]
+        assert monoid.add_fold(values) == Fraction(7, 8)
+        assert monoid.mul_fold(values) == Fraction(1, 8)
+        assert monoid.add_fold([]) == monoid.zero
+        assert monoid.mul_fold([]) == monoid.one

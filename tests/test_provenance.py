@@ -1,0 +1,220 @@
+"""Tests for provenance trees and the provenance 2-monoid (Defs. 6.1/6.2)."""
+
+import pytest
+
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.laws import check_two_monoid_laws
+from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.provenance import (
+    NodeKind,
+    ProvenanceMonoid,
+    conjoin,
+    disjoin,
+    evaluate_tree,
+    false_tree,
+    is_read_once,
+    leaf,
+    true_tree,
+    truth_value,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestConstruction:
+    def test_leaf(self):
+        tree = leaf("a")
+        assert tree.kind is NodeKind.LEAF
+        assert tree.support == {"a"}
+        assert not tree.is_true and not tree.is_false
+
+    def test_constants(self):
+        assert true_tree().is_true
+        assert false_tree().is_false
+        assert true_tree().support == frozenset()
+
+    def test_reserved_symbols_rejected(self):
+        with pytest.raises(AlgebraError):
+            leaf(("__prov_true__",))
+
+    def test_disjoin_builds_or(self):
+        tree = disjoin(leaf("a"), leaf("b"))
+        assert tree.kind is NodeKind.OR
+        assert tree.support == {"a", "b"}
+
+    def test_conjoin_builds_and(self):
+        tree = conjoin(leaf("a"), leaf("b"))
+        assert tree.kind is NodeKind.AND
+
+
+class TestCanonicalization:
+    def test_commutativity_is_structural(self):
+        assert disjoin(leaf("a"), leaf("b")) == disjoin(leaf("b"), leaf("a"))
+        assert conjoin(leaf("a"), leaf("b")) == conjoin(leaf("b"), leaf("a"))
+
+    def test_associativity_flattens(self):
+        left = disjoin(disjoin(leaf("a"), leaf("b")), leaf("c"))
+        right = disjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        assert left == right
+        assert len(left.children) == 3
+
+    def test_identity_laws(self):
+        a = leaf("a")
+        assert disjoin(a, false_tree()) == a
+        assert conjoin(a, true_tree()) == a
+
+    def test_absorbing_constants(self):
+        a = leaf("a")
+        assert disjoin(a, true_tree()).is_true
+        assert conjoin(a, false_tree()).is_false
+
+    def test_zero_times_zero(self):
+        monoid = ProvenanceMonoid()
+        assert monoid.mul(monoid.zero, monoid.zero) == monoid.zero
+
+    def test_mixed_nesting_does_not_flatten(self):
+        tree = conjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        assert tree.kind is NodeKind.AND
+        assert len(tree.children) == 2
+
+    def test_duplicate_children_preserved(self):
+        tree = disjoin(leaf("a"), leaf("a"))
+        assert len(tree.children) == 2
+
+
+class TestDecomposability:
+    def test_distinct_leaves_decomposable(self):
+        tree = conjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        assert tree.is_decomposable
+        assert is_read_once(tree)
+
+    def test_repeated_leaf_not_decomposable(self):
+        tree = disjoin(conjoin(leaf("a"), leaf("b")), conjoin(leaf("a"), leaf("c")))
+        assert not tree.is_decomposable
+
+    def test_constants_are_decomposable(self):
+        assert true_tree().is_decomposable
+        assert false_tree().is_decomposable
+
+    def test_leaf_count(self):
+        tree = disjoin(leaf("a"), leaf("a"))
+        assert tree.leaf_count == 2
+        assert len(tree.support) == 1
+
+
+class TestTruthValue:
+    def test_and_or_evaluation(self):
+        tree = conjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        assert truth_value(tree, {"a", "b"})
+        assert truth_value(tree, {"a", "c"})
+        assert not truth_value(tree, {"a"})
+        assert not truth_value(tree, {"b", "c"})
+
+    def test_constants(self):
+        assert truth_value(true_tree(), set())
+        assert not truth_value(false_tree(), {"a"})
+
+
+class TestEvaluateTree:
+    def test_probability_evaluation(self):
+        monoid = ProbabilityMonoid()
+        tree = conjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        probs = {"a": 0.5, "b": 0.5, "c": 0.5}
+        value = evaluate_tree(tree, monoid, probs.__getitem__)
+        assert value == pytest.approx(0.5 * 0.75)
+
+    def test_counting_evaluation(self):
+        monoid = CountingSemiring()
+        tree = conjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        value = evaluate_tree(tree, monoid, lambda _s: 1)
+        assert value == 2
+
+    def test_constants_map_to_identities(self):
+        monoid = CountingSemiring()
+        assert evaluate_tree(true_tree(), monoid, lambda _s: 0) == 1
+        assert evaluate_tree(false_tree(), monoid, lambda _s: 9) == 0
+
+
+class TestFreeProvenanceMonoid:
+    """The unsimplified universal 2-monoid (needed for Shapley-style targets)."""
+
+    def test_keeps_and_with_false(self):
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        monoid = FreeProvenanceMonoid()
+        kept = monoid.mul(leaf("a"), monoid.zero)
+        assert not kept.is_false
+        assert kept.kind is NodeKind.AND
+        assert kept.support == {"a"}
+
+    def test_zero_times_zero_is_zero(self):
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        monoid = FreeProvenanceMonoid()
+        assert monoid.mul(monoid.zero, monoid.zero) == monoid.zero
+
+    def test_one_plus_one_is_not_one(self):
+        """1 ⊕ 1 must stay a 2-node tree: φ(1 ⊕ 1) = 2 in the counting
+        semiring, so collapsing it would break universality."""
+        from repro.algebra.counting import CountingSemiring as _CS
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        monoid = FreeProvenanceMonoid()
+        doubled = monoid.add(monoid.one, monoid.one)
+        assert not doubled.is_true
+        assert evaluate_tree(doubled, _CS(), lambda _s: 0) == 2
+
+    def test_identity_laws(self):
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        monoid = FreeProvenanceMonoid()
+        a = leaf("a")
+        assert monoid.add(a, monoid.zero) == a
+        assert monoid.mul(a, monoid.one) == a
+
+    def test_laws_census(self):
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        monoid = FreeProvenanceMonoid()
+        samples = [
+            monoid.zero, monoid.one, leaf("a"), leaf("b"),
+            monoid.add(leaf("a"), leaf("b")),
+            monoid.mul(leaf("c"), monoid.zero),
+        ]
+        assert check_two_monoid_laws(monoid, samples) == []
+
+    def test_not_annihilating(self):
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        assert not FreeProvenanceMonoid().annihilates
+
+    def test_quotient_relationship(self):
+        """Canonicalizing a free tree gives the simplified monoid's result."""
+        from repro.algebra.provenance import FreeProvenanceMonoid
+
+        free = FreeProvenanceMonoid()
+        kept = free.mul(leaf("a"), free.zero)
+        simplified = conjoin(leaf("a"), false_tree())
+        assert simplified.is_false
+        # φ into an annihilating monoid agrees on both representations.
+        from repro.algebra.counting import CountingSemiring as _CS
+
+        counting = _CS()
+        assert evaluate_tree(kept, counting, lambda _s: 3) == 0
+        assert evaluate_tree(simplified, counting, lambda _s: 3) == 0
+
+
+class TestMonoidLaws:
+    def test_law_census(self):
+        monoid = ProvenanceMonoid()
+        samples = [
+            monoid.zero, monoid.one, leaf("a"), leaf("b"),
+            disjoin(leaf("a"), leaf("b")), conjoin(leaf("c"), leaf("d")),
+        ]
+        assert check_two_monoid_laws(monoid, samples) == []
+
+    def test_str_rendering(self):
+        tree = conjoin(leaf("a"), disjoin(leaf("b"), leaf("c")))
+        rendered = str(tree)
+        assert "∧" in rendered and "∨" in rendered
+        assert str(true_tree()) == "true"
+        assert str(false_tree()) == "false"

@@ -1,0 +1,35 @@
+"""Tests for the paper-style rule rendering of plans."""
+
+from repro.core.plan import compile_plan
+from repro.core.render import render_rules
+from repro.query.families import q_disconnected, q_eq1, q_h
+
+
+class TestRenderRules:
+    def test_eq1_rules_match_section_2(self):
+        """The rendered plan matches the shape of Eqs. (4)–(9)."""
+        rendered = render_rules(compile_plan(q_eq1()))
+        lines = rendered.splitlines()
+        assert len(lines) == 7  # six steps + the head rule
+        assert lines[0].startswith("R'(a)")
+        assert "⊕_{b ∈ Dom} R(a, b)" in lines[0]
+        assert any("⊗" in line for line in lines)
+        assert lines[-1].startswith("Q()")
+
+    def test_projection_renders_domain_fold(self):
+        rendered = render_rules(compile_plan(q_h()))
+        assert "⊕_{" in rendered
+        assert "∈ Dom}" in rendered
+
+    def test_nullary_atoms_render(self):
+        rendered = render_rules(compile_plan(q_disconnected()))
+        assert "R'()" in rendered or "S'()" in rendered
+
+    def test_custom_head(self):
+        rendered = render_rules(compile_plan(q_h()), head="Answer")
+        assert rendered.splitlines()[-1].startswith("Answer()")
+
+    def test_alignment(self):
+        rendered = render_rules(compile_plan(q_eq1()))
+        arrow_columns = {line.index("←") for line in rendered.splitlines()}
+        assert len(arrow_columns) == 1

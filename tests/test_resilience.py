@@ -1,0 +1,177 @@
+"""Tests for the resilience instantiation (our Question-2 extension).
+
+Resilience — the minimum number of endogenous deletions that falsify a true
+query — is computed by Algorithm 1 over the (N ∪ {∞}, +, min) 2-monoid.
+Validated against subset-enumeration brute force on random instances.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_distributivity_violation,
+)
+from repro.algebra.resilience import ResilienceMonoid
+from repro.db.database import Database
+from repro.db.evaluation import evaluates_true
+from repro.problems.resilience import (
+    ResilienceInstance,
+    contingency_set,
+    resilience,
+    resilience_brute_force,
+    resilience_of_database,
+    resilience_via_lineage,
+)
+from repro.query.families import q_eq1, q_h, random_hierarchical_query
+from repro.workloads.generators import random_database
+
+
+class TestResilienceMonoid:
+    def test_identities(self):
+        monoid = ResilienceMonoid()
+        assert monoid.zero == 0
+        assert monoid.one == math.inf
+        assert monoid.add(3, monoid.zero) == 3
+        assert monoid.mul(3, monoid.one) == 3
+
+    def test_operations(self):
+        monoid = ResilienceMonoid()
+        assert monoid.add(2, 3) == 5      # falsify both disjuncts
+        assert monoid.mul(2, 3) == 2      # falsify the cheaper conjunct
+        assert monoid.mul(monoid.zero, monoid.zero) == 0
+
+    def test_laws(self):
+        monoid = ResilienceMonoid()
+        samples = [0, 1, 2, 5, math.inf]
+        assert check_two_monoid_laws(monoid, samples) == []
+
+    def test_not_distributive(self):
+        """min(a, b+c) ≠ min(a,b) + min(a,c): again a 2-monoid, not a semiring."""
+        monoid = ResilienceMonoid()
+        assert find_distributivity_violation(monoid, [1, 2, 3]) is not None
+        left = monoid.mul(1, monoid.add(1, 1))
+        right = monoid.add(monoid.mul(1, 1), monoid.mul(1, 1))
+        assert left == 1 and right == 2
+
+
+class TestHandComputedCases:
+    def test_false_query_has_resilience_zero(self):
+        assert resilience_of_database(q_h(), Database()) == 0
+
+    def test_single_witness_needs_one_deletion(self):
+        db = Database.from_relations({"E": [(1, 2)], "F": [(2, 3)]})
+        assert resilience_of_database(q_h(), db) == 1
+
+    def test_two_disjoint_witnesses_need_two(self):
+        db = Database.from_relations(
+            {"E": [(1, 2), (5, 6)], "F": [(2, 3), (6, 7)]}
+        )
+        assert resilience_of_database(q_h(), db) == 2
+
+    def test_shared_fact_is_the_cheap_cut(self):
+        # One E fact feeding two F facts: deleting the E fact kills both.
+        db = Database.from_relations({"E": [(1, 2)], "F": [(2, 3), (2, 4)]})
+        assert resilience_of_database(q_h(), db) == 1
+
+    def test_exogenous_only_witness_is_unfalsifiable(self):
+        instance = ResilienceInstance(
+            exogenous=Database.from_relations({"E": [(1, 2)], "F": [(2, 3)]}),
+            endogenous=Database(),
+        )
+        assert resilience(q_h(), instance) == math.inf
+
+    def test_exogenous_facts_force_the_other_cut(self):
+        instance = ResilienceInstance(
+            exogenous=Database.from_relations({"E": [(1, 2)]}),
+            endogenous=Database.from_relations({"F": [(2, 3), (2, 4)]}),
+        )
+        # The cheap E-cut is unavailable; both F facts must go.
+        assert resilience(q_h(), instance) == 2
+
+    def test_fig1_resilience(self):
+        db = Database.from_relations(
+            {"R": [(1, 5)], "S": [(1, 1), (1, 2)], "T": [(1, 2, 4)]}
+        )
+        # The single satisfying assignment dies with any of R(1,5), S(1,2),
+        # or T(1,2,4).
+        assert resilience_of_database(q_eq1(), db) == 1
+
+
+class TestAgainstBruteForce:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_on_random_instances(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=2, seed=rng
+        )
+        facts = list(database.facts())
+        rng.shuffle(facts)
+        split = len(facts) // 3
+        instance = ResilienceInstance(
+            exogenous=Database(facts[:split]),
+            endogenous=Database(facts[split:]),
+        )
+        if len(instance.endogenous) > 10:
+            return
+        unified = resilience(query, instance)
+        brute = resilience_brute_force(query, instance)
+        assert unified == brute
+
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lineage_route_agrees(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=2, seed=rng
+        )
+        instance = ResilienceInstance.fully_endogenous(database)
+        assert resilience(query, instance) == resilience_via_lineage(query, instance)
+
+
+class TestContingencySet:
+    def test_deleting_the_set_falsifies(self):
+        db = Database.from_relations(
+            {"E": [(1, 2), (5, 6)], "F": [(2, 3), (6, 7)]}
+        )
+        instance = ResilienceInstance.fully_endogenous(db)
+        chosen = contingency_set(q_h(), instance)
+        assert chosen is not None
+        assert len(chosen) == resilience(q_h(), instance) == 2
+        assert not evaluates_true(q_h(), db.without_facts(chosen))
+
+    def test_false_query_gives_empty_set(self):
+        instance = ResilienceInstance.fully_endogenous(Database())
+        assert contingency_set(q_h(), instance) == frozenset()
+
+    def test_unfalsifiable_gives_none(self):
+        instance = ResilienceInstance(
+            exogenous=Database.from_relations({"E": [(1, 2)], "F": [(2, 3)]}),
+            endogenous=Database(),
+        )
+        assert contingency_set(q_h(), instance) is None
+
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_extracted_sets_are_optimal_on_random_instances(self, seed):
+        rng = random.Random(seed)
+        query = random_hierarchical_query(rng, max_variables=3, max_atoms=3)
+        database = random_database(
+            query, facts_per_relation=3, domain_size=2, seed=rng
+        )
+        instance = ResilienceInstance.fully_endogenous(database)
+        value = resilience(query, instance)
+        if math.isinf(value):
+            return
+        chosen = contingency_set(query, instance)
+        assert chosen is not None
+        assert len(chosen) == value
+        if value > 0:
+            full = instance.full_database()
+            assert not evaluates_true(query, full.without_facts(chosen))

@@ -1,0 +1,136 @@
+"""Tests for the auxiliary genuine semirings (counting, boolean, tropical,
+polynomial) — these DO distribute, unlike the problem 2-monoids."""
+
+import math
+
+import pytest
+
+from repro.algebra.boolean import BooleanSemiring
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_annihilation_violation,
+    find_distributivity_violation,
+)
+from repro.algebra.polynomial import (
+    PolynomialSemiring,
+    constant,
+    monomial_supports,
+    total_degree_one_count,
+    variable,
+)
+from repro.algebra.tropical import (
+    MaxPlusSemiring,
+    MaxTimesSemiring,
+    MinPlusSemiring,
+)
+from repro.exceptions import AlgebraError
+
+
+class TestCounting:
+    def test_operations(self):
+        semiring = CountingSemiring()
+        assert semiring.add(2, 3) == 5
+        assert semiring.mul(2, 3) == 6
+        assert semiring.zero == 0
+        assert semiring.one == 1
+
+    def test_laws_and_distributivity(self):
+        semiring = CountingSemiring()
+        samples = [0, 1, 2, 5]
+        assert check_two_monoid_laws(semiring, samples) == []
+        assert find_distributivity_violation(semiring, samples) is None
+        assert find_annihilation_violation(semiring, samples) is None
+
+    def test_validate(self):
+        with pytest.raises(AlgebraError):
+            CountingSemiring().validate(-1)
+
+
+class TestBoolean:
+    def test_operations(self):
+        semiring = BooleanSemiring()
+        assert semiring.add(False, True) is True
+        assert semiring.mul(False, True) is False
+        assert semiring.annihilates
+
+    def test_laws(self):
+        semiring = BooleanSemiring()
+        assert check_two_monoid_laws(semiring, [False, True]) == []
+        assert find_distributivity_violation(semiring, [False, True]) is None
+
+
+class TestTropical:
+    def test_min_plus(self):
+        semiring = MinPlusSemiring()
+        assert semiring.add(3, 5) == 3
+        assert semiring.mul(3, 5) == 8
+        assert semiring.zero == math.inf
+        assert semiring.one == 0
+        samples = [0, 1, 3, math.inf]
+        assert check_two_monoid_laws(semiring, samples) == []
+        assert find_distributivity_violation(semiring, samples) is None
+
+    def test_max_times(self):
+        semiring = MaxTimesSemiring()
+        assert semiring.add(3, 5) == 5
+        assert semiring.mul(3, 5) == 15
+        samples = [0, 1, 2, 5]
+        assert check_two_monoid_laws(semiring, samples) == []
+        assert find_distributivity_violation(semiring, samples) is None
+
+    def test_max_plus(self):
+        semiring = MaxPlusSemiring()
+        assert semiring.add(3, 5) == 5
+        assert semiring.mul(3, 5) == 8
+        samples = [-math.inf, 0, 1, 4]
+        assert check_two_monoid_laws(semiring, samples) == []
+        assert find_distributivity_violation(semiring, samples) is None
+
+
+class TestPolynomial:
+    def test_variable_and_constant(self):
+        x = variable("x")
+        assert total_degree_one_count(x) == 1
+        assert constant(0) == frozenset()
+        assert total_degree_one_count(constant(3)) == 3
+
+    def test_addition_merges_coefficients(self):
+        semiring = PolynomialSemiring()
+        x = variable("x")
+        two_x = semiring.add(x, x)
+        assert total_degree_one_count(two_x) == 2
+        assert monomial_supports(two_x) == {frozenset({"x"})}
+
+    def test_multiplication_merges_monomials(self):
+        semiring = PolynomialSemiring()
+        x, y = variable("x"), variable("y")
+        xy = semiring.mul(x, y)
+        assert monomial_supports(xy) == {frozenset({"x", "y"})}
+
+    def test_squares_track_exponents(self):
+        semiring = PolynomialSemiring()
+        x = variable("x")
+        x_squared = semiring.mul(x, x)
+        [(monomial, coefficient)] = list(x_squared)
+        assert monomial == (("x", 2),)
+        assert coefficient == 1
+
+    def test_distributivity_and_laws(self):
+        semiring = PolynomialSemiring()
+        samples = [
+            semiring.zero, semiring.one, variable("x"), variable("y"),
+            semiring.add(variable("x"), variable("y")),
+        ]
+        assert check_two_monoid_laws(semiring, samples) == []
+        assert find_distributivity_violation(semiring, samples) is None
+
+    def test_binomial_expansion(self):
+        semiring = PolynomialSemiring()
+        x, y = variable("x"), variable("y")
+        x_plus_y = semiring.add(x, y)
+        square = semiring.mul(x_plus_y, x_plus_y)
+        coefficients = dict(square)
+        assert coefficients[(("x", 2),)] == 1
+        assert coefficients[(("y", 2),)] == 1
+        assert coefficients[(("x", 1), ("y", 1))] == 2

@@ -1,0 +1,149 @@
+"""Tests for the #Sat 2-monoid (Definition 5.14)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.laws import (
+    check_two_monoid_laws,
+    find_annihilation_violation,
+    find_distributivity_violation,
+)
+from repro.algebra.shapley import SatVector, ShapleyMonoid
+from repro.exceptions import AlgebraError
+
+
+def sat_vectors(length: int, max_value: int = 4):
+    counts = st.lists(
+        st.integers(min_value=0, max_value=max_value),
+        min_size=length, max_size=length,
+    ).map(tuple)
+    return st.builds(SatVector, false_counts=counts, true_counts=counts)
+
+
+class TestDistinguishedElements:
+    def test_zero(self):
+        monoid = ShapleyMonoid(3)
+        assert monoid.zero == SatVector((1, 0, 0), (0, 0, 0))
+
+    def test_one(self):
+        monoid = ShapleyMonoid(3)
+        assert monoid.one == SatVector((0, 0, 0), (1, 0, 0))
+
+    def test_star(self):
+        """★: excluded (size 0) → false; included (size 1) → true."""
+        monoid = ShapleyMonoid(3)
+        assert monoid.star == SatVector((1, 0, 0), (0, 1, 0))
+
+    def test_star_length_one(self):
+        monoid = ShapleyMonoid(1)
+        assert monoid.star == SatVector((1,), (0,))
+
+    def test_invalid_length(self):
+        with pytest.raises(AlgebraError):
+            ShapleyMonoid(0)
+
+    def test_mismatched_slices_rejected(self):
+        with pytest.raises(AlgebraError):
+            SatVector((1, 0), (0,))
+
+
+class TestSemantics:
+    """Hand-checkable subset counts for tiny formulas."""
+
+    def test_disjunction_of_two_endogenous(self):
+        """f1 ∨ f2, both endogenous: subsets of {f1, f2} by size and value."""
+        monoid = ShapleyMonoid(3)
+        result = monoid.add(monoid.star, monoid.star)
+        # size 0: {} → false. size 1: {f1}, {f2} → both true.
+        # size 2: {f1, f2} → true.
+        assert result == SatVector((1, 0, 0), (0, 2, 1))
+
+    def test_conjunction_of_two_endogenous(self):
+        """f1 ∧ f2: only the full subset of size 2 is true."""
+        monoid = ShapleyMonoid(3)
+        result = monoid.mul(monoid.star, monoid.star)
+        assert result == SatVector((1, 2, 0), (0, 0, 1))
+
+    def test_conjunction_with_exogenous(self):
+        """1 ⊗ ★ = ★: an always-true conjunct changes nothing."""
+        monoid = ShapleyMonoid(3)
+        assert monoid.mul(monoid.one, monoid.star) == monoid.star
+
+    def test_disjunction_with_exogenous(self):
+        """1 ⊕ ★: already true; the endogenous fact only shifts sizes."""
+        monoid = ShapleyMonoid(3)
+        result = monoid.add(monoid.one, monoid.star)
+        # size 0: {} → true (exogenous side). size 1: {f} → true.
+        assert result == SatVector((0, 0, 0), (1, 1, 0))
+
+    def test_total_counts_are_binomial(self):
+        """Summing true+false over a k-fact formula gives C(k, size)."""
+        monoid = ShapleyMonoid(4)
+        three = monoid.mul(monoid.star, monoid.mul(monoid.star, monoid.star))
+        totals = [
+            three.false_counts[i] + three.true_counts[i] for i in range(4)
+        ]
+        assert totals == [1, 3, 3, 1]
+
+    def test_sat_count_accessor(self):
+        monoid = ShapleyMonoid(3)
+        v = monoid.add(monoid.star, monoid.star)
+        assert v.sat_count(1) == 2
+
+
+class TestNoAnnihilation:
+    def test_mul_by_zero_is_not_zero(self):
+        """The property the paper flags right after Definition 5.14."""
+        monoid = ShapleyMonoid(3)
+        product = monoid.mul(monoid.star, monoid.zero)
+        assert product != monoid.zero
+        # f ∧ false over endogenous {f}: false at size 0 and size 1.
+        assert product == SatVector((1, 1, 0), (0, 0, 0))
+
+    def test_census_finds_violation(self):
+        monoid = ShapleyMonoid(3)
+        samples = [monoid.zero, monoid.one, monoid.star]
+        assert find_annihilation_violation(monoid, samples) is not None
+        assert not monoid.annihilates
+
+    def test_zero_times_zero_is_zero(self):
+        """The weaker 2-monoid requirement 0 ⊗ 0 = 0 does hold."""
+        monoid = ShapleyMonoid(3)
+        assert monoid.mul(monoid.zero, monoid.zero) == monoid.zero
+
+
+class TestLaws:
+    @given(x=sat_vectors(3), y=sat_vectors(3), z=sat_vectors(3))
+    @settings(max_examples=100, deadline=None)
+    def test_axioms_hold(self, x, y, z):
+        monoid = ShapleyMonoid(3)
+        assert monoid.add(x, y) == monoid.add(y, x)
+        assert monoid.mul(x, y) == monoid.mul(y, x)
+        assert monoid.add(monoid.add(x, y), z) == monoid.add(x, monoid.add(y, z))
+        assert monoid.mul(monoid.mul(x, y), z) == monoid.mul(x, monoid.mul(y, z))
+        assert monoid.add(x, monoid.zero) == x
+        assert monoid.mul(x, monoid.one) == x
+
+    def test_law_census(self):
+        monoid = ShapleyMonoid(3)
+        samples = [
+            monoid.zero, monoid.one, monoid.star,
+            monoid.add(monoid.star, monoid.star),
+        ]
+        assert check_two_monoid_laws(monoid, samples) == []
+
+    def test_not_distributive(self):
+        monoid = ShapleyMonoid(3)
+        samples = [monoid.zero, monoid.one, monoid.star]
+        assert find_distributivity_violation(monoid, samples) is not None
+
+    def test_length_mismatch_rejected(self):
+        monoid = ShapleyMonoid(3)
+        with pytest.raises(AlgebraError):
+            monoid.add(ShapleyMonoid(2).star, monoid.star)
+
+    def test_validate_rejects_negative(self):
+        monoid = ShapleyMonoid(2)
+        with pytest.raises(AlgebraError):
+            monoid.validate(SatVector((1, -1), (0, 0)))

@@ -1,0 +1,127 @@
+"""Tests for the Proposition 5.5 variable-tree construction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.bcq import make_query
+from repro.query.families import (
+    q_eq1,
+    q_h,
+    q_nh,
+    random_hierarchical_query,
+    star_query,
+    telescope_query,
+)
+from repro.query.tree import (
+    build_variable_forest,
+    verify_variable_tree,
+)
+from repro.query.components import connected_components
+
+
+class TestEq1Tree:
+    def test_tree_exists(self):
+        forest = build_variable_forest(q_eq1())
+        assert forest is not None
+        assert len(forest.trees) == 1
+
+    def test_root_is_a(self):
+        """A occurs in all three atoms, so it must be the root."""
+        forest = build_variable_forest(q_eq1())
+        assert forest.trees[0].root == "A"
+
+    def test_paths_match_atoms(self):
+        forest = build_variable_forest(q_eq1())
+        tree = forest.trees[0]
+        paths = {frozenset(tree.path_to_root(v)) for v in tree.variables}
+        assert frozenset({"A", "B"}) in paths        # R(A,B)
+        assert frozenset({"A", "C"}) in paths        # S(A,C)
+        assert frozenset({"A", "C", "D"}) in paths   # T(A,C,D)
+
+    def test_depths(self):
+        tree = build_variable_forest(q_eq1()).trees[0]
+        assert tree.depth("A") == 0
+        assert tree.depth("B") == 1
+        assert tree.depth("C") == 1
+        assert tree.depth("D") == 2
+
+    def test_children(self):
+        tree = build_variable_forest(q_eq1()).trees[0]
+        assert set(tree.children("A")) == {"B", "C"}
+        assert tree.children("C") == ("D",)
+        assert tree.children("D") == ()
+
+
+class TestOtherQueries:
+    def test_qh_tree(self):
+        """E(X,Y) ∧ F(Y,Z): Y is the root."""
+        forest = build_variable_forest(q_h())
+        assert forest is not None
+        assert forest.trees[0].root == "Y"
+
+    def test_non_hierarchical_has_no_tree(self):
+        assert build_variable_forest(q_nh()) is None
+
+    def test_star_tree_shape(self):
+        forest = build_variable_forest(star_query(4))
+        tree = forest.trees[0]
+        assert tree.root == "X"
+        assert len(tree.children("X")) == 4
+
+    def test_telescope_tree_is_a_chain(self):
+        forest = build_variable_forest(telescope_query(5))
+        tree = forest.trees[0]
+        assert tree.root == "X1"
+        for depth, variable in enumerate(
+            ("X1", "X2", "X3", "X4", "X5")
+        ):
+            assert tree.depth(variable) == depth
+
+    def test_disconnected_query_gets_forest(self):
+        q = make_query([("R", "A"), ("S", "B")])
+        forest = build_variable_forest(q)
+        assert len(forest.trees) == 2
+        assert forest.variables == {"A", "B"}
+
+    def test_nullary_components_are_skipped(self):
+        q = make_query([("R", "A"), ("N", "")])
+        forest = build_variable_forest(q)
+        assert len(forest.trees) == 1
+
+    def test_equal_at_sets_are_chained(self):
+        q = make_query([("R", "AB")])
+        forest = build_variable_forest(q)
+        tree = forest.trees[0]
+        # A and B have identical at-sets; one must parent the other.
+        assert tree.depth("A") + tree.depth("B") == 1
+
+
+class TestVerification:
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=100, deadline=None)
+    def test_built_trees_verify(self, seed):
+        query = random_hierarchical_query(random.Random(seed))
+        forest = build_variable_forest(query)
+        assert forest is not None
+        components = [
+            c for c in connected_components(query) if c.variables
+        ]
+        assert len(forest.trees) == len(components)
+        for component, tree in zip(components, forest.trees):
+            assert verify_variable_tree(component, tree)
+
+    def test_verify_rejects_wrong_tree(self):
+        from repro.query.tree import VariableTree
+
+        component = connected_components(q_eq1())[0]
+        bad = VariableTree(root="B", parent={"A": "B", "C": "A", "D": "C"})
+        assert not verify_variable_tree(component, bad)
+
+    def test_verify_rejects_wrong_variable_set(self):
+        from repro.query.tree import VariableTree
+
+        component = connected_components(q_eq1())[0]
+        bad = VariableTree(root="A", parent={"B": "A"})
+        assert not verify_variable_tree(component, bad)

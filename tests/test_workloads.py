@@ -1,0 +1,117 @@
+"""Tests for workload generators (determinism, shapes, validity)."""
+
+from repro.db.schema import Schema
+from repro.query.families import q_eq1, q_h, star_query
+from repro.workloads.generators import (
+    correlated_database,
+    random_bagset_instance,
+    random_database,
+    random_probabilistic_database,
+    random_shapley_instance,
+    scale_database,
+    star_database,
+)
+from repro.workloads.graphs import (
+    cycle_graph,
+    gnp_random_graph,
+    path_graph,
+    planted_biclique_graph,
+)
+
+
+class TestRandomDatabase:
+    def test_deterministic(self):
+        a = random_database(q_eq1(), 5, 10, seed=42)
+        b = random_database(q_eq1(), 5, 10, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_database(q_eq1(), 10, 50, seed=1)
+        b = random_database(q_eq1(), 10, 50, seed=2)
+        assert a != b
+
+    def test_respects_schema(self):
+        database = random_database(q_eq1(), 5, 10, seed=0)
+        database.validate_against(q_eq1())
+
+    def test_approximate_size(self):
+        database = random_database(q_eq1(), 10, 1000, seed=0)
+        assert len(database) == 30
+
+    def test_small_domain_caps_size(self):
+        database = random_database(q_h(), 100, 2, seed=0)
+        # E and F are binary over a 2-value domain: at most 4 tuples each.
+        assert len(database) <= 8
+
+
+class TestOtherGenerators:
+    def test_correlated_database_joins(self):
+        from repro.db.evaluation import count_satisfying_assignments
+
+        database = correlated_database(q_h(), shared_values=2, branch_values=4, seed=0)
+        assert count_satisfying_assignments(q_h(), database) > 0
+
+    def test_probabilistic_database(self):
+        pdb = random_probabilistic_database(q_eq1(), 4, 8, seed=0)
+        for fact in pdb.facts():
+            assert 0 < pdb.probability(fact) < 1
+
+    def test_exact_probabilistic_database(self):
+        from fractions import Fraction
+
+        pdb = random_probabilistic_database(q_eq1(), 4, 8, seed=0, exact=True)
+        assert all(
+            isinstance(pdb.probability(f), Fraction) for f in pdb.facts()
+        )
+
+    def test_bagset_instance_disjoint(self):
+        instance = random_bagset_instance(q_eq1(), 3, 4, budget=2, domain_size=3, seed=0)
+        for fact in instance.repair_database.facts():
+            assert fact not in instance.database
+
+    def test_shapley_instance_partition(self):
+        instance = random_shapley_instance(q_eq1(), 4, 4, seed=0)
+        assert instance.endogenous_count >= 1
+        for fact in instance.endogenous.facts():
+            assert fact not in instance.exogenous
+
+    def test_star_database_closed_form(self):
+        query = star_query(2)
+        database = star_database(query, hubs=3, spokes_per_hub=4)
+        assert len(database) == 2 * 3 * 4
+
+    def test_scale_database(self):
+        database = random_database(q_eq1(), 5, 100, seed=0)
+        sizes = scale_database(database, Schema.of_query(q_eq1()).relations)
+        assert sum(sizes.values()) == len(database)
+
+
+class TestGraphGenerators:
+    def test_gnp_deterministic(self):
+        assert gnp_random_graph(10, 0.5, seed=7).edges == (
+            gnp_random_graph(10, 0.5, seed=7).edges
+        )
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(6, 0.0, seed=0).edge_count == 0
+        assert gnp_random_graph(6, 1.0, seed=0).edge_count == 15
+
+    def test_planted_biclique_edges_present(self):
+        graph, part_one, part_two = planted_biclique_graph(10, 3, noise=0.0, seed=0)
+        for u in part_one:
+            for v in part_two:
+                assert graph.has_edge(u, v)
+
+    def test_planted_biclique_requires_room(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            planted_biclique_graph(3, 2, noise=0.1, seed=0)
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).edge_count == 4
+        assert cycle_graph(5).edge_count == 5
+        import pytest
+
+        with pytest.raises(ValueError):
+            cycle_graph(2)
