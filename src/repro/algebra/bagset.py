@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.algebra.base import TwoMonoid
+from repro.core.kernels import MonoidKernel, register_kernel
 from repro.exceptions import AlgebraError
 
 BagSetVector = tuple[int, ...]
@@ -140,3 +141,56 @@ class BagSetMonoid(TwoMonoid[BagSetVector]):
             return vector[: self._length]
         tail = vector[-1] if vector else 0
         return vector + (tail,) * (self._length - len(vector))
+
+
+class BagSetKernel(MonoidKernel[BagSetVector]):
+    """Batched bag-set convolutions with constant/★ fast paths.
+
+    Because the carrier is *monotone* vectors, a vector is constant iff its
+    first and last entries agree — an O(1) test.  Convolving with a constant
+    ``c`` collapses to an O(θ) elementwise map::
+
+        (x ⊕ c)(i) = max_j x(j) + c = x(i) + c      (monotonicity)
+        (x ⊗ c)(i) = max_j x(j) · c = x(i) · c
+
+    Constants dominate real ψ-annotations: every base-database fact is the
+    all-ones 1.  The repair facts are ``★ = (0, 1, 1, …)``, whose ⊗ is the
+    index shift ``(0, x₀, …, x_{θ−1})``.  Non-fast pairs fall back to the
+    scalar quadratic convolutions, so the kernel stays exactly equal to the
+    :class:`BagSetMonoid` operations.
+    """
+
+    def __init__(self, monoid: BagSetMonoid):
+        super().__init__(monoid)
+        self._star = monoid.star
+
+    def _add(self, left: BagSetVector, right: BagSetVector) -> BagSetVector:
+        if left[0] == left[-1]:
+            constant = left[0]
+            return tuple(value + constant for value in right)
+        if right[0] == right[-1]:
+            constant = right[0]
+            return tuple(value + constant for value in left)
+        return self.monoid.add(left, right)
+
+    def _mul(self, left: BagSetVector, right: BagSetVector) -> BagSetVector:
+        if left[0] == left[-1]:
+            constant = left[0]
+            return tuple(value * constant for value in right)
+        if right[0] == right[-1]:
+            constant = right[0]
+            return tuple(value * constant for value in left)
+        if left == self._star:
+            return (0,) + right[:-1]
+        if right == self._star:
+            return (0,) + left[:-1]
+        return self.monoid.mul(left, right)
+
+    # fold_add: inherited left-fold over the fast-path _add above.
+
+    def mul_aligned(self, lefts, rights):
+        mul = self._mul
+        return [mul(left, right) for left, right in zip(lefts, rights)]
+
+
+register_kernel(BagSetMonoid, BagSetKernel)

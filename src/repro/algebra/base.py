@@ -82,6 +82,15 @@ class TwoMonoid(ABC, Generic[K]):
         """True when *item* equals the ⊕-identity."""
         return self.eq(item, self.zero)
 
+    def is_one(self, item: K) -> bool:
+        """True when *item* equals the ⊗-identity.
+
+        The batched merge loop uses this to skip ⊗ applications whose result
+        is known (``a ⊗ 1 = a``); override alongside :meth:`eq` for carriers
+        with approximate equality.
+        """
+        return self.eq(item, self.one)
+
     @property
     def annihilates(self) -> bool:
         """Whether ``a ⊗ 0 = 0`` holds for all ``a`` (semiring property).

@@ -8,6 +8,7 @@ the backtracking evaluator.
 from __future__ import annotations
 
 from repro.algebra.base import CommutativeSemiring
+from repro.core.kernels import MonoidKernel, register_kernel
 
 
 class BooleanSemiring(CommutativeSemiring[bool]):
@@ -28,3 +29,16 @@ class BooleanSemiring(CommutativeSemiring[bool]):
 
     def mul(self, left: bool, right: bool) -> bool:
         return left and right
+
+
+class BooleanKernel(MonoidKernel[bool]):
+    """Batched ``(∨, ∧)`` via the short-circuiting ``any`` builtin."""
+
+    def fold_add(self, groups):
+        return [group[0] if len(group) == 1 else any(group) for group in groups]
+
+    def mul_aligned(self, lefts, rights):
+        return [left and right for left, right in zip(lefts, rights)]
+
+
+register_kernel(BooleanSemiring, BooleanKernel)

@@ -11,6 +11,7 @@ with the backtracking evaluator of :mod:`repro.db.evaluation`.
 from __future__ import annotations
 
 from repro.algebra.base import CommutativeSemiring
+from repro.core.kernels import MonoidKernel, register_kernel
 from repro.exceptions import AlgebraError
 
 
@@ -37,3 +38,21 @@ class CountingSemiring(CommutativeSemiring[int]):
         if not isinstance(value, int) or value < 0:
             raise AlgebraError(f"{value!r} is not a natural number")
         return value
+
+
+class SumProductKernel(MonoidKernel):
+    """Batched ``(+, ×)``: ⊕-folds are C-level ``sum`` calls.
+
+    ``sum`` folds left-to-right from 0 exactly like the scalar path, so the
+    kernel is bit-identical for ints and rationals and matches floats to the
+    last ulp.  Shared by the counting and non-negative-real semirings.
+    """
+
+    def fold_add(self, groups):
+        return [group[0] if len(group) == 1 else sum(group) for group in groups]
+
+    def mul_aligned(self, lefts, rights):
+        return [left * right for left, right in zip(lefts, rights)]
+
+
+register_kernel(CountingSemiring, SumProductKernel)

@@ -13,10 +13,12 @@ tuple-independent probabilistic databases (Theorem 5.8).
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from numbers import Rational
 
 from repro.algebra.base import TwoMonoid
+from repro.core.kernels import MonoidKernel, register_kernel
 from repro.exceptions import AlgebraError
 
 Probability = float | Fraction
@@ -90,3 +92,31 @@ class ExactProbabilityMonoid(ProbabilityMonoid):
         if not 0 <= fraction <= 1:
             raise AlgebraError(f"{value!r} is not a probability in [0, 1]")
         return fraction
+
+
+class ProbabilityKernel(MonoidKernel[Probability]):
+    """Batched probability operations.
+
+    ⊕-folds use the closed form ``1 − Π(1 − pᵢ)`` (one C-level product
+    instead of three Python arithmetic ops per element); ⊗ batches are plain
+    products.  Agrees with the scalar fold up to floating-point
+    re-association (well inside the monoid's equality tolerance), and is
+    exact for the rational subclass, whose inherited ``add``/``mul`` make it
+    resolve to this same kernel.
+    """
+
+    def fold_add(self, groups):
+        out = []
+        one = self.monoid.one
+        for group in groups:
+            if len(group) == 1:
+                out.append(group[0])
+            else:
+                out.append(one - math.prod(one - p for p in group))
+        return out
+
+    def mul_aligned(self, lefts, rights):
+        return [left * right for left, right in zip(lefts, rights)]
+
+
+register_kernel(ProbabilityMonoid, ProbabilityKernel)

@@ -19,6 +19,8 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.algebra.base import CommutativeSemiring
+from repro.algebra.counting import SumProductKernel
+from repro.core.kernels import register_kernel
 from repro.exceptions import AlgebraError
 
 Real = float | Fraction
@@ -50,3 +52,7 @@ class RealSemiring(CommutativeSemiring[Real]):
         if value < 0:
             raise AlgebraError(f"{value!r} is negative")
         return value
+
+
+# Same carrier shape as the counting semiring: batched sum/product.
+register_kernel(RealSemiring, SumProductKernel)

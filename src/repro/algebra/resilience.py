@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 
 from repro.algebra.base import TwoMonoid
+from repro.core.kernels import MonoidKernel, register_kernel
 from repro.exceptions import AlgebraError
 
 Cost = float
@@ -77,3 +78,16 @@ class ResilienceMonoid(TwoMonoid[Cost]):
                 f"{value!r} is not a natural falsification cost (or ∞)"
             )
         return value
+
+
+class ResilienceKernel(MonoidKernel[Cost]):
+    """Batched ``(+, min)``: ⊕-folds via ``sum``, ⊗ via ``min``."""
+
+    def fold_add(self, groups):
+        return [group[0] if len(group) == 1 else sum(group) for group in groups]
+
+    def mul_aligned(self, lefts, rights):
+        return [right if left > right else left for left, right in zip(lefts, rights)]
+
+
+register_kernel(ResilienceMonoid, ResilienceKernel)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.algebra.base import CommutativeSemiring
+from repro.core.kernels import MonoidKernel, register_kernel
 
 Extended = float
 """Naturals extended with ``math.inf``."""
@@ -76,3 +77,38 @@ class MaxPlusSemiring(CommutativeSemiring[Extended]):
 
     def mul(self, left: Extended, right: Extended) -> Extended:
         return left + right
+
+
+class MinPlusKernel(MonoidKernel[Extended]):
+    """Batched ``(min, +)``: ⊕-folds via the ``min`` builtin."""
+
+    def fold_add(self, groups):
+        return [group[0] if len(group) == 1 else min(group) for group in groups]
+
+    def mul_aligned(self, lefts, rights):
+        return [left + right for left, right in zip(lefts, rights)]
+
+
+class MaxTimesKernel(MonoidKernel[int]):
+    """Batched ``(max, ×)``: ⊕-folds via the ``max`` builtin."""
+
+    def fold_add(self, groups):
+        return [group[0] if len(group) == 1 else max(group) for group in groups]
+
+    def mul_aligned(self, lefts, rights):
+        return [left * right for left, right in zip(lefts, rights)]
+
+
+class MaxPlusKernel(MonoidKernel[Extended]):
+    """Batched ``(max, +)``."""
+
+    def fold_add(self, groups):
+        return [group[0] if len(group) == 1 else max(group) for group in groups]
+
+    def mul_aligned(self, lefts, rights):
+        return [left + right for left, right in zip(lefts, rights)]
+
+
+register_kernel(MinPlusSemiring, MinPlusKernel)
+register_kernel(MaxTimesSemiring, MaxTimesKernel)
+register_kernel(MaxPlusSemiring, MaxPlusKernel)

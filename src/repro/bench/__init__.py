@@ -1,16 +1,27 @@
-"""Benchmark harness: timing, reporting, and the E0–E11 experiment suite."""
+"""Benchmark harness: timing, reporting, the E0–E11 experiment suite, and
+the scalar-vs-kernel perf suite behind ``BENCH_perf.json``."""
 
 from repro.bench.experiments import ALL_EXPERIMENTS, figure1_instance, run_all
 from repro.bench.harness import doubling_ratios, loglog_slope, time_callable
+from repro.bench.perf import (
+    PERF_EXPERIMENTS,
+    render_perf_summary,
+    run_perf_suite,
+    write_perf_json,
+)
 from repro.bench.reporting import ExperimentResult, format_table
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
+    "PERF_EXPERIMENTS",
     "doubling_ratios",
     "figure1_instance",
     "format_table",
     "loglog_slope",
+    "render_perf_summary",
     "run_all",
+    "run_perf_suite",
     "time_callable",
+    "write_perf_json",
 ]

@@ -1,0 +1,230 @@
+"""Scalar-vs-kernel performance suite: the ``BENCH_perf.json`` trajectory.
+
+Reruns the hot workloads of three scaling experiments — E2 (probabilistic
+query evaluation), E4 (bag-set maximization) and E6 (Shapley ``#Sat``) —
+twice per configuration: once through the batched kernel engine
+(``kernel_mode="auto"``) and once through the per-tuple scalar baseline
+(``kernel_mode="scalar"``), asserting answer agreement and recording wall
+times and speedups in a machine-readable document.  ``repro bench --json
+BENCH_perf.json`` regenerates the artifact; future PRs compare against it to
+keep the perf trajectory monotone.
+
+The ``quick`` mode shrinks every sweep to sub-second sizes; the tier-1 smoke
+test uses it to assert kernel/scalar agreement without timing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.algebra.bagset import BagSetMonoid
+from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.shapley import ShapleyMonoid
+from repro.bench.harness import time_callable
+from repro.core.algorithm import execute_plan
+from repro.core.plan import compile_plan
+from repro.db.annotated import KDatabase
+from repro.problems.bagset_max import annotation_psi as bagset_psi
+from repro.problems.shapley import annotation_psi as shapley_psi
+from repro.query.families import q_eq1, star_query
+from repro.workloads.generators import (
+    random_bagset_instance,
+    random_probabilistic_database,
+)
+
+#: Format version of the BENCH_perf.json document.
+SCHEMA_VERSION = 1
+
+
+def _measure_plan(
+    query, annotated: KDatabase, repeats: int
+) -> tuple[dict, object, object]:
+    """Time one compiled plan over *annotated*: scalar engine vs kernels.
+
+    The annotated database is built once and the plan compiled once, so the
+    two timings isolate the engine (Algorithm 1's ⊕-projections and
+    ⊗-merges) — the component the kernel subsystem replaces.
+    """
+    plan = compile_plan(query)
+    scalar_time, scalar_report = time_callable(
+        lambda: execute_plan(plan, annotated, kernel_mode="scalar"),
+        repeats=repeats,
+    )
+    kernel_time, kernel_report = time_callable(
+        lambda: execute_plan(plan, annotated, kernel_mode="auto"),
+        repeats=repeats,
+    )
+    record = {
+        "scalar_s": scalar_time,
+        "kernel_s": kernel_time,
+        "speedup": scalar_time / max(kernel_time, 1e-12),
+    }
+    return record, scalar_report.result, kernel_report.result
+
+
+def perf_e2_pqe(quick: bool = False, repeats: int = 3) -> dict:
+    """E2: PQE on the Eq. (1) query — float probabilities, tolerance check."""
+    sizes = (300, 900) if quick else (500, 1000, 2000, 4000, 8000)
+    repeats = 1 if quick else repeats
+    query = q_eq1()
+    runs = []
+    agree = True
+    for size in sizes:
+        database = random_probabilistic_database(
+            query, facts_per_relation=size // 3,
+            domain_size=max(4, size // 6), seed=size,
+        )
+        annotated = KDatabase.annotate(
+            query, ProbabilityMonoid(), database.facts(), database.probability
+        )
+        record, scalar, kernel = _measure_plan(query, annotated, repeats)
+        record["params"] = {"|D|": len(database)}
+        record["abs_delta"] = abs(scalar - kernel)
+        agree = agree and record["abs_delta"] <= 1e-9
+        runs.append(record)
+    return {
+        "title": "PQE (Theorem 5.8): marginal probability on q_eq1",
+        "agreement": "max |Δ| ≤ 1e-9" if agree else "DISAGREEMENT",
+        "agree": agree,
+        "runs": runs,
+    }
+
+
+def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
+    """E4: bag-set maximization — exact vectors, identity check."""
+    sizes = (100,) if quick else (200, 400, 800, 1600)
+    repeats = 1 if quick else repeats
+    query = star_query(2)
+    runs = []
+    agree = True
+    for size in sizes:
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=size // 2,
+            repair_facts_per_relation=16, budget=16,
+            domain_size=max(8, size // 4), seed=size,
+        )
+        monoid = BagSetMonoid(instance.budget + 1)
+        facts = [*instance.database.facts(), *instance.addable_facts()]
+        annotated = KDatabase.annotate(
+            query, monoid, facts, bagset_psi(instance, monoid)
+        )
+        record, scalar, kernel = _measure_plan(query, annotated, repeats)
+        record["params"] = {
+            "|D|": len(instance.database),
+            "|Dr|": len(instance.repair_database),
+            "θ": instance.budget,
+        }
+        record["identical"] = scalar == kernel
+        agree = agree and record["identical"]
+        runs.append(record)
+    return {
+        "title": "Bag-set maximization (Theorem 5.11) on a 2-branch star",
+        "agreement": "bit-identical" if agree else "DISAGREEMENT",
+        "agree": agree,
+        "runs": runs,
+    }
+
+
+def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
+    """E6: the Shapley ``#Sat`` vector — exact big-int vectors."""
+    from repro.bench.experiments import _split_instance
+
+    sizes = (12, 24) if quick else (16, 32, 64, 128, 256)
+    repeats = 1 if quick else repeats
+    query = star_query(2)
+    runs = []
+    agree = True
+    for size in sizes:
+        instance = _split_instance(
+            query, exogenous=40, endogenous=size, seed=size
+        )
+        monoid = ShapleyMonoid(instance.endogenous_count + 1)
+        facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
+        annotated = KDatabase.annotate(
+            query, monoid, facts, shapley_psi(instance, monoid)
+        )
+        record, scalar, kernel = _measure_plan(query, annotated, repeats)
+        record["params"] = {
+            "|Dx|": len(instance.exogenous),
+            "|Dn|": instance.endogenous_count,
+        }
+        record["identical"] = scalar == kernel
+        agree = agree and record["identical"]
+        runs.append(record)
+    return {
+        "title": "Shapley #Sat vector (Theorem 5.16) on a 2-branch star",
+        "agreement": "bit-identical" if agree else "DISAGREEMENT",
+        "agree": agree,
+        "runs": runs,
+    }
+
+
+PERF_EXPERIMENTS: dict[str, Callable[..., dict]] = {
+    "E2": perf_e2_pqe,
+    "E4": perf_e4_bsm,
+    "E6": perf_e6_shapley,
+}
+
+
+def run_perf_suite(
+    ids: list[str] | None = None, quick: bool = False, repeats: int = 3
+) -> dict:
+    """Run the requested perf experiments and return the JSON document."""
+    requested = ids or list(PERF_EXPERIMENTS)
+    unknown = [name for name in requested if name not in PERF_EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown perf experiment id(s) {unknown}; "
+            f"expected a subset of {sorted(PERF_EXPERIMENTS)}"
+        )
+    experiments = {
+        name: PERF_EXPERIMENTS[name](quick=quick, repeats=repeats)
+        for name in requested
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "quick": quick,
+        "experiments": experiments,
+        "summary": {
+            name: {
+                "max_speedup": max(r["speedup"] for r in exp["runs"]),
+                "largest_config_speedup": exp["runs"][-1]["speedup"],
+                "agree": exp["agree"],
+            }
+            for name, exp in experiments.items()
+        },
+    }
+
+
+def write_perf_json(document: dict, path: str | Path) -> Path:
+    """Write *document* to *path* as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def render_perf_summary(document: dict) -> str:
+    """Human-readable digest of a perf document for the CLI."""
+    lines = []
+    for name, experiment in document["experiments"].items():
+        lines.append(f"== {name}: {experiment['title']} ==")
+        for run in experiment["runs"]:
+            params = ", ".join(
+                f"{key}={value}" for key, value in run["params"].items()
+            )
+            lines.append(
+                f"  {params:<28} scalar {run['scalar_s']:.4f}s  "
+                f"kernel {run['kernel_s']:.4f}s  "
+                f"speedup {run['speedup']:.1f}x"
+            )
+        lines.append(f"  agreement: {experiment['agreement']}")
+    return "\n".join(lines)

@@ -9,6 +9,7 @@ Commands
 ``shapley``     Shapley (and Banzhaf) values of endogenous facts
 ``resilience``  resilience and an optimal contingency set
 ``experiments`` regenerate EXPERIMENTS.md tables
+``bench``       scalar-vs-kernel perf suite (optionally to BENCH_perf.json)
 
 Databases are JSON files in the :mod:`repro.db.io` formats::
 
@@ -25,6 +26,12 @@ import sys
 from typing import Sequence
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.perf import (
+    PERF_EXPERIMENTS,
+    render_perf_summary,
+    run_perf_suite,
+    write_perf_json,
+)
 from repro.core.plan import compile_plan
 from repro.db.evaluation import count_satisfying_assignments
 from repro.db.io import load_database, load_probabilistic
@@ -41,9 +48,18 @@ from repro.problems.resilience import (
     resilience,
 )
 from repro.problems.shapley import ShapleyInstance, banzhaf_value, shapley_values
-from repro.query.elimination import eliminate
+from repro.query.elimination import eliminate, policy_names
 from repro.query.hierarchy import is_hierarchical
 from repro.query.parser import parse_query
+
+
+def _add_policy_option(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--policy",
+        default="rule1_first",
+        choices=policy_names(),
+        help="elimination policy (min_support is cost-based)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="analyze a query")
     check.add_argument("query", help='e.g. "Q() :- R(A,B), S(A,C)"')
+    _add_policy_option(check)
 
     count = commands.add_parser("count", help="bag-set value Q(D)")
     count.add_argument("query")
@@ -64,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pqe.add_argument("query")
     pqe.add_argument("--db", required=True, help="probabilistic-database JSON file")
     pqe.add_argument("--exact", action="store_true", help="exact rationals")
+    _add_policy_option(pqe)
 
     bsm = commands.add_parser("bsm", help="bag-set maximization")
     bsm.add_argument("query")
@@ -73,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bsm.add_argument(
         "--witness", action="store_true", help="also print an optimal repair"
     )
+    _add_policy_option(bsm)
 
     shapley = commands.add_parser("shapley", help="Shapley values of facts")
     shapley.add_argument("query")
@@ -81,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     shapley.add_argument(
         "--banzhaf", action="store_true", help="also print Banzhaf indices"
     )
+    _add_policy_option(shapley)
 
     res = commands.add_parser("resilience", help="resilience of a true query")
     res.add_argument("query")
@@ -96,6 +116,23 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "ids", nargs="*", help=f"subset of {', '.join(ALL_EXPERIMENTS)}"
     )
+
+    bench = commands.add_parser(
+        "bench", help="scalar-vs-kernel perf suite (BENCH_perf.json)"
+    )
+    bench.add_argument(
+        "ids", nargs="*", help=f"subset of {', '.join(PERF_EXPERIMENTS)}"
+    )
+    bench.add_argument(
+        "--json", dest="json_path", help="write the machine-readable document here"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="tiny sizes, one repeat (smoke agreement check)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
     return parser
 
 
@@ -105,11 +142,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     hierarchical = is_hierarchical(query)
     print(f"hierarchical: {hierarchical}")
     print()
-    print("elimination trace:")
-    print(eliminate(query))
+    print(f"elimination trace ({args.policy}):")
+    print(eliminate(query, policy=args.policy))
     if hierarchical:
         print()
-        print(compile_plan(query))
+        print(compile_plan(query, policy=args.policy))
     return 0
 
 
@@ -123,7 +160,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
 def _cmd_pqe(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     database = load_probabilistic(args.db)
-    probability = marginal_probability(query, database, exact=args.exact)
+    probability = marginal_probability(
+        query, database, exact=args.exact, policy=args.policy
+    )
     if args.exact:
         print(f"{probability} ≈ {float(probability):.6f}")
     else:
@@ -138,7 +177,7 @@ def _cmd_bsm(args: argparse.Namespace) -> int:
         repair_database=load_database(args.repair),
         budget=args.budget,
     )
-    profile = maximize_profile(query, instance)
+    profile = maximize_profile(query, instance, policy=args.policy)
     print(f"optimal Q(D') at budget θ={args.budget}: {profile[args.budget]}")
     print(f"budget profile q(0..θ): {profile}")
     if args.witness:
@@ -155,12 +194,15 @@ def _cmd_shapley(args: argparse.Namespace) -> int:
         exogenous=load_database(args.exogenous),
         endogenous=load_database(args.endogenous),
     )
-    values = shapley_values(query, instance)
+    values = shapley_values(query, instance, policy=args.policy)
     ranked = sorted(values.items(), key=lambda kv: (-kv[1], repr(kv[0])))
     for fact, value in ranked:
         line = f"{str(fact):<40} shapley={value}"
         if args.banzhaf:
-            line += f"  banzhaf={banzhaf_value(query, instance, fact)}"
+            line += (
+                f"  banzhaf="
+                f"{banzhaf_value(query, instance, fact, policy=args.policy)}"
+            )
         print(line)
     return 0
 
@@ -202,6 +244,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    requested = args.ids or list(PERF_EXPERIMENTS)
+    unknown = [name for name in requested if name not in PERF_EXPERIMENTS]
+    if unknown:
+        print(f"unknown perf experiment id(s): {unknown}", file=sys.stderr)
+        return 2
+    document = run_perf_suite(
+        requested, quick=args.quick, repeats=args.repeats
+    )
+    print(render_perf_summary(document))
+    if args.json_path:
+        path = write_perf_json(document, args.json_path)
+        print(f"\nwrote {path}")
+    if not all(exp["agree"] for exp in document["experiments"].values()):
+        print("error: kernel/scalar disagreement detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "check": _cmd_check,
     "count": _cmd_count,
@@ -210,6 +271,7 @@ _HANDLERS = {
     "shapley": _cmd_shapley,
     "resilience": _cmd_resilience,
     "experiments": _cmd_experiments,
+    "bench": _cmd_bench,
 }
 
 

@@ -21,17 +21,33 @@ from repro.core.lineage import (
     powerset,
     read_once_lineage,
 )
+from repro.core.kernels import (
+    GenericKernel,
+    MonoidKernel,
+    kernel_for,
+    register_kernel,
+    scalar_kernels,
+)
 from repro.core.plan import (
     MergeStep,
     Plan,
     PlanStep,
     ProjectStep,
+    clear_plan_cache,
     compile_plan,
+    plan_cache_info,
     plan_from_trace,
 )
 
 __all__ = [
     "CountingMonoid",
+    "GenericKernel",
+    "MonoidKernel",
+    "clear_plan_cache",
+    "kernel_for",
+    "plan_cache_info",
+    "register_kernel",
+    "scalar_kernels",
     "ExecutionReport",
     "GroupedPlan",
     "IncrementalEvaluator",

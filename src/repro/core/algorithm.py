@@ -19,15 +19,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from contextlib import nullcontext
+
 from repro.algebra.base import K, TwoMonoid
+from repro.core.kernels import scalar_kernels
 from repro.db.annotated import KDatabase, KRelation
 from repro.db.fact import Fact
+from repro.exceptions import ReproError
 from repro.query.bcq import BCQ
 from repro.query.elimination import Policy
 from repro.core.plan import MergeStep, Plan, PlanStep, ProjectStep, compile_plan
 
 StepHook = Callable[[PlanStep, KRelation], None]
 """Optional observer invoked after each executed step with its output relation."""
+
+KERNEL_MODES = ("auto", "scalar")
+"""``auto`` uses registered batched kernels; ``scalar`` forces per-element
+``monoid.add``/``mul`` dispatch (the benchmark baseline)."""
+
+
+def _kernel_context(kernel_mode: str):
+    if kernel_mode == "auto":
+        return nullcontext()
+    if kernel_mode == "scalar":
+        return scalar_kernels()
+    raise ReproError(
+        f"unknown kernel mode {kernel_mode!r}; expected one of {KERNEL_MODES}"
+    )
 
 
 @dataclass
@@ -54,26 +72,37 @@ def execute_plan(
     plan: Plan,
     annotated: KDatabase[K],
     on_step: StepHook | None = None,
+    *,
+    kernel_mode: str = "auto",
 ) -> ExecutionReport:
-    """Execute *plan* over *annotated* and return the result with bookkeeping."""
-    live: dict[str, KRelation[K]] = {
-        relation.atom.relation: relation for relation in annotated.relations()
-    }
-    max_live = sum(len(relation) for relation in live.values())
-    for index, step in enumerate(plan.steps):
-        if isinstance(step, ProjectStep):
-            source = live.pop(step.source.relation)
-            produced = source.project_out(step.variable, step.target)
-        else:
-            assert isinstance(step, MergeStep)
-            first = live.pop(step.first.relation)
-            second = live.pop(step.second.relation)
-            produced = first.merge(second, step.target)
-        live[step.target.relation] = produced
-        max_live = max(max_live, sum(len(relation) for relation in live.values()))
-        if on_step is not None:
-            on_step(step, produced)
-    final = live[plan.final_relation]
+    """Execute *plan* over *annotated* and return the result with bookkeeping.
+
+    ``kernel_mode="scalar"`` forces per-element monoid dispatch for every
+    relation operation in the run — the baseline the perf suite compares the
+    batched kernels against.
+    """
+    with _kernel_context(kernel_mode):
+        live: dict[str, KRelation[K]] = {
+            relation.atom.relation: relation
+            for relation in annotated.relations()
+        }
+        max_live = sum(len(relation) for relation in live.values())
+        for index, step in enumerate(plan.steps):
+            if isinstance(step, ProjectStep):
+                source = live.pop(step.source.relation)
+                produced = source.project_out(step.variable, step.target)
+            else:
+                assert isinstance(step, MergeStep)
+                first = live.pop(step.first.relation)
+                second = live.pop(step.second.relation)
+                produced = first.merge(second, step.target)
+            live[step.target.relation] = produced
+            max_live = max(
+                max_live, sum(len(relation) for relation in live.values())
+            )
+            if on_step is not None:
+                on_step(step, produced)
+        final = live[plan.final_relation]
     return ExecutionReport(
         result=final.annotation(()),
         steps_executed=len(plan.steps),
@@ -81,19 +110,48 @@ def execute_plan(
     )
 
 
+def compile_for_database(
+    query: BCQ,
+    annotated: KDatabase[K],
+    policy: Policy | str = "rule1_first",
+):
+    """Compile *query* with data statistics when the policy is cost-based.
+
+    For ``"min_support"`` this reads the support sizes out of *annotated* and
+    tells the policy whether Rule 2 merges run over support unions (the
+    non-annihilating case, e.g. Shapley) or intersections.
+    """
+    if policy == "min_support":
+        sizes = {
+            relation.atom.relation: len(relation)
+            for relation in annotated.relations()
+        }
+        return compile_plan(
+            query,
+            policy,
+            relation_sizes=sizes,
+            union_merges=not annotated.monoid.annihilates,
+        )
+    return compile_plan(query, policy=policy)
+
+
 def run_algorithm(
     query: BCQ,
     annotated: KDatabase[K],
     policy: Policy | str = "rule1_first",
     on_step: StepHook | None = None,
+    *,
+    kernel_mode: str = "auto",
 ) -> K:
     """Run Algorithm 1 on *query* and the K-annotated database *annotated*.
 
     Raises :class:`~repro.exceptions.NotHierarchicalError` for
     non-hierarchical queries (line 10 of Algorithm 1 / Proposition 5.1).
     """
-    plan = compile_plan(query, policy=policy)
-    return execute_plan(plan, annotated, on_step=on_step).result  # type: ignore[return-value]
+    plan = compile_for_database(query, annotated, policy)
+    return execute_plan(  # type: ignore[return-value]
+        plan, annotated, on_step=on_step, kernel_mode=kernel_mode
+    ).result
 
 
 def evaluate_hierarchical(
@@ -102,6 +160,8 @@ def evaluate_hierarchical(
     facts: Iterable[Fact],
     annotation_of: Callable[[Fact], K],
     policy: Policy | str = "rule1_first",
+    *,
+    kernel_mode: str = "auto",
 ) -> K:
     """Convenience wrapper: annotate *facts* with ψ = *annotation_of* and run.
 
@@ -110,4 +170,4 @@ def evaluate_hierarchical(
     probabilities) and execute the compiled plan.
     """
     annotated = KDatabase.annotate(query, monoid, facts, annotation_of)
-    return run_algorithm(query, annotated, policy=policy)
+    return run_algorithm(query, annotated, policy=policy, kernel_mode=kernel_mode)

@@ -172,27 +172,36 @@ def _apply_grouped_step(query: BCQ, step) -> BCQ:
 
 
 def execute_grouped_plan(
-    plan: GroupedPlan, annotated: KDatabase[K]
+    plan: GroupedPlan, annotated: KDatabase[K], *, kernel_mode: str = "auto"
 ) -> KRelation[K]:
-    """Execute a grouped plan, returning the answer K-relation over ``F``."""
-    live: dict[str, KRelation[K]] = {
-        relation.atom.relation: relation for relation in annotated.relations()
-    }
-    for step in plan.steps:
-        if isinstance(step, ProjectStep):
-            source = live.pop(step.source.relation)
-            live[step.target.relation] = source.project_out(
-                step.variable, step.target
-            )
-        elif isinstance(step, AbsorbStep):
-            small = live.pop(step.small.relation)
-            big = live.pop(step.big.relation)
-            live[step.target.relation] = big.absorb(small, step.target)
-        else:
-            first = live.pop(step.first.relation)
-            second = live.pop(step.second.relation)
-            live[step.target.relation] = first.merge(second, step.target)
-    return live[plan.final_relation]
+    """Execute a grouped plan, returning the answer K-relation over ``F``.
+
+    Every relation operation routes through the batched kernel engine (or
+    the scalar baseline under ``kernel_mode="scalar"``), exactly like the
+    Boolean :func:`~repro.core.algorithm.execute_plan`.
+    """
+    from repro.core.algorithm import _kernel_context
+
+    with _kernel_context(kernel_mode):
+        live: dict[str, KRelation[K]] = {
+            relation.atom.relation: relation
+            for relation in annotated.relations()
+        }
+        for step in plan.steps:
+            if isinstance(step, ProjectStep):
+                source = live.pop(step.source.relation)
+                live[step.target.relation] = source.project_out(
+                    step.variable, step.target
+                )
+            elif isinstance(step, AbsorbStep):
+                small = live.pop(step.small.relation)
+                big = live.pop(step.big.relation)
+                live[step.target.relation] = big.absorb(small, step.target)
+            else:
+                first = live.pop(step.first.relation)
+                second = live.pop(step.second.relation)
+                live[step.target.relation] = first.merge(second, step.target)
+        return live[plan.final_relation]
 
 
 def evaluate_grouped(
@@ -201,9 +210,11 @@ def evaluate_grouped(
     monoid: TwoMonoid[K],
     facts: Iterable[Fact],
     annotation_of,
+    *,
+    kernel_mode: str = "auto",
 ) -> KRelation[K]:
     """Annotate, compile and execute in one call (free-variable analogue of
     :func:`repro.core.algorithm.evaluate_hierarchical`)."""
     plan = compile_grouped_plan(query, free_variables)
     annotated = KDatabase.annotate(query, monoid, facts, annotation_of)
-    return execute_grouped_plan(plan, annotated)
+    return execute_grouped_plan(plan, annotated, kernel_mode=kernel_mode)

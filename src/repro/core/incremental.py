@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Generic
 
 from repro.algebra.base import K, TwoMonoid
-from repro.core.plan import MergeStep, Plan, ProjectStep, compile_plan
+from repro.core.plan import MergeStep, Plan, ProjectStep
 from repro.db.annotated import KDatabase, KRelation
 from repro.db.fact import Fact, Value
 from repro.exceptions import SchemaError
@@ -43,16 +43,28 @@ class IncrementalEvaluator(Generic[K]):
     Parameters
     ----------
     query:
-        A hierarchical SJF-BCQ (compiled once).
+        A hierarchical SJF-BCQ (compiled once; the compile hits the shared
+        plan cache, and the initial :meth:`_build` runs through the batched
+        kernel engine).
     annotated:
         The initial K-annotated database; it is copied into internal stage
         relations and never mutated.
+    policy:
+        Elimination policy for the compiled plan; ``"min_support"`` uses the
+        initial database's support sizes.
     """
 
-    def __init__(self, query: BCQ, annotated: KDatabase[K]):
+    def __init__(
+        self,
+        query: BCQ,
+        annotated: KDatabase[K],
+        policy: str = "rule1_first",
+    ):
+        from repro.core.algorithm import compile_for_database
+
         self.query = query
         self.monoid: TwoMonoid[K] = annotated.monoid
-        self.plan: Plan = compile_plan(query)
+        self.plan: Plan = compile_for_database(query, annotated, policy)
         # Stage relations by name: the query's inputs plus every step output.
         self._stages: dict[str, KRelation[K]] = {}
         for relation in annotated.relations():

@@ -1,0 +1,183 @@
+"""Batched 2-monoid kernels: the execution engine behind ``KRelation``.
+
+Algorithm 1 spends essentially all of its time in two shapes of work:
+
+* **⊕-folds over groups** — Rule 1 groups the support of a relation by the
+  surviving positions and ⊕-folds each group (``project_out``);
+* **aligned ⊗-products** — Rule 2 pairs up annotations tuple-by-tuple and
+  ⊗-multiplies each pair (``merge`` / ``absorb``).
+
+The scalar path dispatches one dynamic ``monoid.add``/``monoid.mul`` call per
+element.  A :class:`MonoidKernel` instead receives the *whole batch* at once,
+which lets carrier-specific implementations amortize dispatch, use Python
+built-ins (``sum``, ``min``, ``max``, ``math.prod``) that run the loop in C,
+and — for the Shapley 2-monoid — replace per-pair quadratic convolutions with
+one big-integer multiplication (see :mod:`repro.algebra.shapley`).
+
+Design:
+
+* :class:`GenericKernel` is the always-correct fallback: it delegates to the
+  scalar ``TwoMonoid.add``/``mul`` with identity fast paths
+  (``is_zero``/``is_one``) in the ⊗ loop.  Wrapper monoids such as
+  :class:`~repro.core.instrument.CountingMonoid` resolve to it, so operation
+  counting keeps working.
+* Concrete monoids register specialized kernels at import time via
+  :func:`register_kernel` (the registrations live next to the monoids in
+  :mod:`repro.algebra`).  Lookup walks the MRO, so subclasses such as
+  :class:`~repro.algebra.probability.ExactProbabilityMonoid` inherit their
+  parent's kernel exactly when they inherit its ``add``/``mul``.
+* :func:`scalar_kernels` is a context manager that forces the generic kernel
+  everywhere — the benchmark suite uses it to measure scalar-vs-kernel
+  speedups on identical code paths (``execute_plan(kernel_mode="scalar")``).
+
+Every kernel must be *extensionally equal* to the scalar path on its monoid
+(same outputs, up to ``monoid.eq``); ``tests/test_kernels.py`` checks this
+property on randomized relations for every bundled monoid.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Generic, Iterator, Sequence
+
+from repro.algebra.base import K, TwoMonoid
+
+KernelFactory = Callable[[TwoMonoid], "MonoidKernel"]
+
+
+class MonoidKernel(Generic[K]):
+    """Batched operations over one 2-monoid instance.
+
+    Subclasses override :meth:`mul_aligned` and either :meth:`fold_add`
+    (whole-batch specializations) or just the scalar :meth:`_add` hook the
+    default left-fold consumes; every override must agree with the scalar
+    fold/product over ``monoid.add``/``monoid.mul``.
+    """
+
+    def __init__(self, monoid: TwoMonoid[K]):
+        self.monoid = monoid
+
+    def _add(self, left: K, right: K) -> K:
+        """Scalar ⊕ used by the default :meth:`fold_add` (override for fast
+        paths without rewriting the fold loop)."""
+        return self.monoid.add(left, right)
+
+    def fold_add(self, groups: Sequence[Sequence[K]]) -> list[K]:
+        """⊕-fold each group left-to-right; every group must be non-empty."""
+        add = self._add
+        out = []
+        for group in groups:
+            iterator = iter(group)
+            result = next(iterator)
+            for item in iterator:
+                result = add(result, item)
+            out.append(result)
+        return out
+
+    def mul_aligned(self, lefts: Sequence[K], rights: Sequence[K]) -> list[K]:
+        """Pairwise ``lefts[i] ⊗ rights[i]``; the sequences are equal-length."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} over {self.monoid.name!r}>"
+
+
+class GenericKernel(MonoidKernel[K]):
+    """Scalar fallback: per-element ``monoid.add``/``monoid.mul`` dispatch.
+
+    Groups are folded left-to-right starting from their first element — the
+    pre-kernel execution order.  The ⊗ loop short-circuits on ⊗-identity
+    operands and, for annihilating monoids, on ⊕-identity operands, so
+    instrumentation wrappers (:class:`~repro.core.instrument.CountingMonoid`)
+    may observe *fewer* ⊗ applications than the historical per-tuple engine —
+    never more, and never in a different order — which keeps the Theorem 6.7
+    O(|D|) operation bound (an upper bound) observable.
+    """
+
+    def mul_aligned(self, lefts: Sequence[K], rights: Sequence[K]) -> list[K]:
+        monoid = self.monoid
+        mul = monoid.mul
+        is_one = monoid.is_one
+        is_zero = monoid.is_zero
+        annihilates = monoid.annihilates
+        zero = monoid.zero
+        out = []
+        for left, right in zip(lefts, rights):
+            if is_one(right):
+                out.append(left)
+            elif is_one(left):
+                out.append(right)
+            elif annihilates and (is_zero(left) or is_zero(right)):
+                out.append(zero)
+            else:
+                out.append(mul(left, right))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[type, KernelFactory] = {}
+_REGISTRY_VERSION = 0
+_FORCE_GENERIC = False
+
+
+def register_kernel(monoid_type: type, factory: KernelFactory) -> None:
+    """Register *factory* as the kernel builder for *monoid_type*.
+
+    The factory receives the monoid instance (kernels may depend on instance
+    parameters such as the Shapley vector length).  Registration is keyed by
+    class and resolved along the MRO, so only register a subclass separately
+    when it overrides ``add``/``mul``.
+    """
+    global _REGISTRY_VERSION
+    _REGISTRY[monoid_type] = factory
+    _REGISTRY_VERSION += 1
+
+
+def kernel_for(monoid: TwoMonoid[K]) -> MonoidKernel[K]:
+    """The kernel serving *monoid*: its registered one, or the generic fallback.
+
+    The built kernel is memoized on the monoid instance itself (its lifetime
+    is exactly the monoid's — no global cache to leak), invalidated when the
+    registry changes.  Inside a :func:`scalar_kernels` block every monoid
+    gets the generic (scalar-dispatch) kernel regardless of registrations.
+    """
+    if _FORCE_GENERIC:
+        return GenericKernel(monoid)
+    cached = getattr(monoid, "_kernel_cache", None)
+    if cached is not None and cached[0] == _REGISTRY_VERSION:
+        return cached[1]
+    factory: KernelFactory = GenericKernel
+    for klass in type(monoid).__mro__:
+        registered = _REGISTRY.get(klass)
+        if registered is not None:
+            factory = registered
+            break
+    kernel = factory(monoid)
+    try:
+        monoid._kernel_cache = (_REGISTRY_VERSION, kernel)
+    except AttributeError:  # slots/frozen monoid: rebuild per call
+        pass
+    return kernel
+
+
+@contextmanager
+def scalar_kernels() -> Iterator[None]:
+    """Force the generic scalar kernel everywhere inside the block.
+
+    Used by the perf suite to time the scalar baseline on the exact same
+    batched execution path, isolating the kernel contribution.
+    """
+    global _FORCE_GENERIC
+    previous = _FORCE_GENERIC
+    _FORCE_GENERIC = True
+    try:
+        yield
+    finally:
+        _FORCE_GENERIC = previous
+
+
+def kernels_forced_scalar() -> bool:
+    """True inside a :func:`scalar_kernels` block (for tests/diagnostics)."""
+    return _FORCE_GENERIC

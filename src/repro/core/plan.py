@@ -8,12 +8,20 @@ over named annotated relations — and then execute it against any 2-monoid and
 any annotated database.  This separates the query-dependent work (polynomial
 in the fixed query size) from the data-dependent work, matching the paper's
 data-complexity accounting.
+
+Compiled plans are memoized in a small LRU cache keyed by the query
+structure, the policy name, and (for cost-based policies) the relation-size
+statistics.  Repeated evaluations of the same query — the incremental
+engine's rebuilds, benchmark sweeps, serving workloads replaying one query
+shape over many databases — skip recompilation entirely.  Callable policies
+bypass the cache (they may be stateful, e.g. the random E10 policies).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Union
+from typing import Mapping, Union
 
 from repro.exceptions import NotHierarchicalError
 from repro.query.atoms import Atom, Variable
@@ -82,8 +90,32 @@ class Plan:
         return sum(1 for step in self.steps if isinstance(step, MergeStep))
 
 
-def compile_plan(query: BCQ, policy: Policy | str = "rule1_first") -> Plan:
-    """Compile *query* into a :class:`Plan`.
+#: Maximum number of (query, policy, sizes) entries kept compiled.
+PLAN_CACHE_SIZE = 256
+
+_plan_cache: "OrderedDict[tuple, Plan]" = OrderedDict()
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def compile_plan(
+    query: BCQ,
+    policy: Policy | str = "rule1_first",
+    relation_sizes: Mapping[str, int] | None = None,
+    union_merges: bool = False,
+) -> Plan:
+    """Compile *query* into a :class:`Plan` (memoized for string policies).
+
+    Parameters
+    ----------
+    query:
+        A SJF-BCQ.
+    policy:
+        Elimination policy name or function; names include the cost-based
+        ``"min_support"``.
+    relation_sizes / union_merges:
+        Statistics for cost-based policies — see
+        :func:`repro.query.elimination.make_min_support_policy`.
 
     Raises
     ------
@@ -91,8 +123,47 @@ def compile_plan(query: BCQ, policy: Policy | str = "rule1_first") -> Plan:
         When the elimination procedure gets stuck — i.e., exactly when the
         query is not hierarchical (Proposition 5.1).
     """
-    trace = eliminate(query, policy=policy)
-    return plan_from_trace(trace)
+    global _plan_cache_hits, _plan_cache_misses
+    if not isinstance(policy, str):
+        return plan_from_trace(
+            eliminate(query, policy, relation_sizes, union_merges)
+        )
+    sizes_key = (
+        None if relation_sizes is None
+        else tuple(sorted(relation_sizes.items()))
+    )
+    key = (query, policy, sizes_key, union_merges)
+    cached = _plan_cache.get(key)
+    if cached is not None:
+        _plan_cache.move_to_end(key)
+        _plan_cache_hits += 1
+        return cached
+    _plan_cache_misses += 1
+    plan = plan_from_trace(
+        eliminate(query, policy, relation_sizes, union_merges)
+    )
+    _plan_cache[key] = plan
+    if len(_plan_cache) > PLAN_CACHE_SIZE:
+        _plan_cache.popitem(last=False)
+    return plan
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the plan cache (for tests and diagnostics)."""
+    return {
+        "hits": _plan_cache_hits,
+        "misses": _plan_cache_misses,
+        "size": len(_plan_cache),
+        "max_size": PLAN_CACHE_SIZE,
+    }
+
+
+def clear_plan_cache() -> None:
+    """Drop every memoized plan and reset the counters."""
+    global _plan_cache_hits, _plan_cache_misses
+    _plan_cache.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
 
 
 def plan_from_trace(trace: EliminationTrace) -> Plan:

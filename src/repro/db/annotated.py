@@ -11,10 +11,19 @@ therefore evaluate every tuple in the *union* of the two supports — a tuple
 present on one side only gets ``a ⊗ 0``, which can be non-zero.  Only when
 the monoid declares :attr:`~repro.algebra.base.TwoMonoid.annihilates` may the
 join skip one-sided tuples.
+
+Execution strategy: the elimination operations *collect-then-batch*.  They
+first gather the whole workload — ⊕-groups for Rule 1, aligned annotation
+pairs for Rule 2 — and then hand it to the monoid's batched
+:class:`~repro.core.kernels.MonoidKernel` in one call, instead of issuing a
+dynamic ``monoid.add``/``mul`` per tuple.  The kernel registry picks a
+carrier-specialized implementation when one is registered and the
+always-correct scalar fallback otherwise (see :mod:`repro.core.kernels`).
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Generic, Iterable, Iterator, Mapping
 
 from repro.algebra.base import K, TwoMonoid
@@ -23,6 +32,32 @@ from repro.db.fact import Fact, Value
 from repro.exceptions import AlgebraError, SchemaError
 from repro.query.atoms import Atom, Variable
 from repro.query.bcq import BCQ
+
+
+def _kernel_for(monoid: TwoMonoid[K]):
+    # Imported lazily: repro.core.algorithm imports this module at class-def
+    # time, so a module-level import of repro.core here would be circular.
+    from repro.core.kernels import kernel_for
+
+    return kernel_for(monoid)
+
+
+def _tuple_picker(
+    positions: tuple[int, ...]
+) -> Callable[[tuple[Value, ...]], tuple[Value, ...]]:
+    """A C-level callable mapping a tuple to ``tuple(t[i] for i in positions)``.
+
+    ``itemgetter`` already returns a tuple for two or more indices; the
+    nullary/unary shapes need wrapping.  These run once per support tuple in
+    the elimination hot loops, so avoiding a Python-level generator per tuple
+    matters.
+    """
+    if len(positions) == 0:
+        return lambda values: ()
+    if len(positions) == 1:
+        index = positions[0]
+        return lambda values: (values[index],)
+    return itemgetter(*positions)
 
 
 class KRelation(Generic[K]):
@@ -86,34 +121,44 @@ class KRelation(Generic[K]):
     def project_out(self, variable: Variable, target: Atom) -> "KRelation[K]":
         """Rule 1 (line 4): ``R'(x') = ⊕_y R(x', y)``.
 
-        Groups the support by the remaining positions and ⊕-folds each group.
-        Tuples outside the support contribute the ⊕-identity and are skipped.
+        Groups the support by the remaining positions, then ⊕-folds all the
+        groups in one batched kernel call.  Tuples outside the support
+        contribute the ⊕-identity and are skipped.
         """
         if variable not in self.atom.variable_set:
             raise AlgebraError(f"{variable} does not occur in {self.atom}")
         keep_positions = tuple(
             i for i, v in enumerate(self.atom.variables) if v != variable
         )
-        groups: dict[tuple[Value, ...], K] = {}
+        pick = _tuple_picker(keep_positions)
         monoid = self.monoid
+        groups: dict[tuple[Value, ...], list[K]] = {}
         for values, annotation in self._annotations.items():
-            key = tuple(values[i] for i in keep_positions)
-            existing = groups.get(key)
-            groups[key] = (
-                annotation if existing is None else monoid.add(existing, annotation)
-            )
+            key = pick(values)
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [annotation]
+            else:
+                members.append(annotation)
+        folded = _kernel_for(monoid).fold_add(list(groups.values()))
         result = KRelation(target, monoid)
-        for key, annotation in groups.items():
-            result.set(key, annotation)
+        annotations = result._annotations
+        is_zero = monoid.is_zero
+        for key, annotation in zip(groups, folded):
+            if not is_zero(annotation):
+                annotations[key] = annotation
         return result
 
     def merge(self, other: "KRelation[K]", target: Atom) -> "KRelation[K]":
         """Rule 2 (line 7): ``R'(x) = R1(x) ⊗ R2(x)``.
 
-        Iterates the union of the two supports (see module docstring for why
+        Evaluates the union of the two supports (see module docstring for why
         the union — not the intersection — is required in general), or just
         this relation's support when the monoid annihilates by zero and the
-        other side's missing tuples would zero out anyway.
+        other side's missing tuples would zero out anyway.  The aligned
+        annotation pairs are collected first and ⊗-multiplied in one batched
+        kernel call; when a source atom already lists the target's variables
+        in order, its tuples are used as keys directly with no re-tupling.
         """
         if self.atom.variable_set != other.atom.variable_set:
             raise AlgebraError(
@@ -123,36 +168,52 @@ class KRelation(Generic[K]):
         monoid = self.monoid
         if monoid is not other.monoid:
             raise AlgebraError("cannot merge relations over different monoids")
-        # Positional alignment: other's tuples reordered to target's order.
-        other_positions = tuple(
-            other.atom.variables.index(v) for v in target.variables
+        # Positional alignment: both sides' tuples reordered to target's
+        # order.  The identity permutation is skipped entirely.
+        if other.atom.variables == target.variables:
+            other_by_key: Mapping[tuple[Value, ...], K] = other._annotations
+        else:
+            align_other = _tuple_picker(
+                tuple(other.atom.variables.index(v) for v in target.variables)
+            )
+            other_by_key = {
+                align_other(values): annotation
+                for values, annotation in other.items()
+            }
+        self_identity = self.atom.variables == target.variables
+        align_self = (
+            None
+            if self_identity
+            else _tuple_picker(
+                tuple(self.atom.variables.index(v) for v in target.variables)
+            )
         )
-        self_positions = tuple(
-            self.atom.variables.index(v) for v in target.variables
-        )
-
-        def align_self(values: tuple[Value, ...]) -> tuple[Value, ...]:
-            return tuple(values[i] for i in self_positions)
-
-        def align_other(values: tuple[Value, ...]) -> tuple[Value, ...]:
-            return tuple(values[i] for i in other_positions)
-
-        result = KRelation(target, monoid)
-        other_by_key: dict[tuple[Value, ...], K] = {
-            align_other(values): annotation for values, annotation in other.items()
-        }
-        seen: set[tuple[Value, ...]] = set()
+        zero = monoid.zero
+        keys: list[tuple[Value, ...]] = []
+        lefts: list[K] = []
+        rights: list[K] = []
         for values, annotation in self._annotations.items():
-            key = align_self(values)
-            seen.add(key)
-            other_annotation = other_by_key.get(key, monoid.zero)
-            result.set(key, monoid.mul(annotation, other_annotation))
+            key = values if self_identity else align_self(values)
+            keys.append(key)
+            lefts.append(annotation)
+            rights.append(other_by_key.get(key, zero))
         if not monoid.annihilates:
+            present = (
+                self._annotations if self_identity else frozenset(keys)
+            )
             for key, other_annotation in other_by_key.items():
-                if key not in seen:
-                    result.set(key, monoid.mul(monoid.zero, other_annotation))
+                if key not in present:
+                    keys.append(key)
+                    lefts.append(zero)
+                    rights.append(other_annotation)
+        products = _kernel_for(monoid).mul_aligned(lefts, rights)
+        result = KRelation(target, monoid)
+        annotations = result._annotations
+        is_zero = monoid.is_zero
+        for key, product in zip(keys, products):
+            if not is_zero(product):
+                annotations[key] = product
         return result
-
 
     def absorb(self, smaller: "KRelation[K]", target: Atom) -> "KRelation[K]":
         """Semi-join-style merge of an atom over a variable *subset*.
@@ -182,17 +243,35 @@ class KRelation(Generic[K]):
             raise AlgebraError(
                 f"target {target} must keep the variable set of {self.atom}"
             )
-        self_positions = tuple(
-            self.atom.variables.index(v) for v in target.variables
+        self_identity = self.atom.variables == target.variables
+        align_self = (
+            None
+            if self_identity
+            else _tuple_picker(
+                tuple(self.atom.variables.index(v) for v in target.variables)
+            )
         )
-        smaller_positions = tuple(
-            target.variables.index(v) for v in smaller.atom.variables
+        project_small = _tuple_picker(
+            tuple(target.variables.index(v) for v in smaller.atom.variables)
         )
-        result = KRelation(target, monoid)
+        smaller_annotations = smaller._annotations
+        zero = monoid.zero
+        keys: list[tuple[Value, ...]] = []
+        lefts: list[K] = []
+        rights: list[K] = []
         for values, annotation in self._annotations.items():
-            key = tuple(values[i] for i in self_positions)
-            projected = tuple(key[i] for i in smaller_positions)
-            result.set(key, monoid.mul(annotation, smaller.annotation(projected)))
+            key = values if self_identity else align_self(values)
+            projected = project_small(key)
+            keys.append(key)
+            lefts.append(annotation)
+            rights.append(smaller_annotations.get(projected, zero))
+        products = _kernel_for(monoid).mul_aligned(lefts, rights)
+        result = KRelation(target, monoid)
+        annotations = result._annotations
+        is_zero = monoid.is_zero
+        for key, product in zip(keys, products):
+            if not is_zero(product):
+                annotations[key] = product
         return result
 
 

@@ -81,6 +81,9 @@ def maximize_profile(
     query: BCQ,
     instance: BagSetInstance,
     vector_length: int | None = None,
+    *,
+    policy: str = "rule1_first",
+    kernel_mode: str = "auto",
 ) -> BagSetVector:
     """The full budget profile: entry ``i`` = best value at repair cost ≤ i.
 
@@ -90,13 +93,20 @@ def maximize_profile(
         Truncation length of the bag-set vectors; defaults to ``θ + 1``
         (sufficient by monotonicity and the cost bound of Theorem 5.11).
         Experiment E9 passes larger lengths to measure the truncation lever.
+    policy:
+        Elimination policy (``"min_support"`` uses relation statistics).
+    kernel_mode:
+        ``"auto"`` for batched kernels, ``"scalar"`` for the per-tuple
+        baseline (benchmarking).
     """
     instance.validate_against(query)
     length = (vector_length if vector_length is not None else instance.budget + 1)
     monoid = BagSetMonoid(max(length, 1))
     psi = annotation_psi(instance, monoid)
     facts = [*instance.database.facts(), *instance.addable_facts()]
-    return evaluate_hierarchical(query, monoid, facts, psi)
+    return evaluate_hierarchical(
+        query, monoid, facts, psi, policy=policy, kernel_mode=kernel_mode
+    )
 
 
 def maximize(query: BCQ, instance: BagSetInstance) -> int:

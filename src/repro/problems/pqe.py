@@ -39,6 +39,9 @@ def marginal_probability(
     query: BCQ,
     database: ProbabilisticDatabase,
     exact: bool = False,
+    *,
+    policy: str = "rule1_first",
+    kernel_mode: str = "auto",
 ) -> Probability:
     """Marginal probability of *query* via Algorithm 1 (Theorem 5.8).
 
@@ -51,6 +54,11 @@ def marginal_probability(
         The tuple-independent probabilistic database.
     exact:
         Use exact rational arithmetic (probabilities must be rationals).
+    policy:
+        Elimination policy (``"min_support"`` uses relation statistics).
+    kernel_mode:
+        ``"auto"`` for batched kernels, ``"scalar"`` for the per-tuple
+        baseline (benchmarking).
     """
     source = database.as_exact() if exact else database
     monoid = _monoid_for(exact)
@@ -59,6 +67,8 @@ def marginal_probability(
         monoid,
         source.facts(),
         lambda fact: monoid.validate(source.probability(fact)),
+        policy=policy,
+        kernel_mode=kernel_mode,
     )
 
 

@@ -81,18 +81,40 @@ def annotation_psi(instance: ShapleyInstance, monoid: ShapleyMonoid):
     return psi
 
 
-def sat_vector(query: BCQ, instance: ShapleyInstance) -> SatVector:
-    """Run Algorithm 1 and return the full ``#Sat`` vector (Theorem 5.16)."""
+def sat_vector(
+    query: BCQ,
+    instance: ShapleyInstance,
+    *,
+    policy: str = "rule1_first",
+    kernel_mode: str = "auto",
+) -> SatVector:
+    """Run Algorithm 1 and return the full ``#Sat`` vector (Theorem 5.16).
+
+    ``kernel_mode="auto"`` routes the ⊕/⊗ batches through the Kronecker
+    convolution kernel; ``"scalar"`` runs the per-tuple Definition 5.14
+    convolutions (the benchmark baseline).  Both produce bit-identical
+    exact integer vectors.
+    """
     instance.validate_against(query)
     monoid = ShapleyMonoid(instance.endogenous_count + 1)
     psi = annotation_psi(instance, monoid)
     facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
-    return evaluate_hierarchical(query, monoid, facts, psi)
+    return evaluate_hierarchical(
+        query, monoid, facts, psi, policy=policy, kernel_mode=kernel_mode
+    )
 
 
-def sat_counts(query: BCQ, instance: ShapleyInstance) -> tuple[int, ...]:
+def sat_counts(
+    query: BCQ,
+    instance: ShapleyInstance,
+    *,
+    policy: str = "rule1_first",
+    kernel_mode: str = "auto",
+) -> tuple[int, ...]:
     """``#Sat(k)`` for ``k = 0 .. |Dn|`` via the unified algorithm."""
-    return sat_vector(query, instance).true_counts
+    return sat_vector(
+        query, instance, policy=policy, kernel_mode=kernel_mode
+    ).true_counts
 
 
 def sat_counts_via_lineage(query: BCQ, instance: ShapleyInstance) -> tuple[int, ...]:
@@ -155,7 +177,13 @@ def _shifted_instance(instance: ShapleyInstance, fact: Fact) -> tuple[ShapleyIns
     return forced, removed
 
 
-def shapley_value(query: BCQ, instance: ShapleyInstance, fact: Fact) -> Fraction:
+def shapley_value(
+    query: BCQ,
+    instance: ShapleyInstance,
+    fact: Fact,
+    *,
+    policy: str = "rule1_first",
+) -> Fraction:
     """Exact Shapley value of *fact* via two ``#Sat`` computations.
 
     Implements the summation at the end of Section 5.6::
@@ -166,8 +194,8 @@ def shapley_value(query: BCQ, instance: ShapleyInstance, fact: Fact) -> Fraction
     with ``n = |Dn|``, using the unified algorithm for both counts.
     """
     forced, removed = _shifted_instance(instance, fact)
-    with_f = sat_counts(query, forced)
-    without_f = sat_counts(query, removed)
+    with_f = sat_counts(query, forced, policy=policy)
+    without_f = sat_counts(query, removed, policy=policy)
     n = instance.endogenous_count
     total = Fraction(0)
     n_factorial = math.factorial(n)
@@ -179,10 +207,15 @@ def shapley_value(query: BCQ, instance: ShapleyInstance, fact: Fact) -> Fraction
     return total
 
 
-def shapley_values(query: BCQ, instance: ShapleyInstance) -> dict[Fact, Fraction]:
+def shapley_values(
+    query: BCQ,
+    instance: ShapleyInstance,
+    *,
+    policy: str = "rule1_first",
+) -> dict[Fact, Fraction]:
     """Shapley values of *all* endogenous facts."""
     return {
-        fact: shapley_value(query, instance, fact)
+        fact: shapley_value(query, instance, fact, policy=policy)
         for fact in instance.endogenous.facts()
     }
 
@@ -235,7 +268,13 @@ def shapley_value_monte_carlo(
     return flips / samples
 
 
-def banzhaf_value(query: BCQ, instance: ShapleyInstance, fact: Fact) -> Fraction:
+def banzhaf_value(
+    query: BCQ,
+    instance: ShapleyInstance,
+    fact: Fact,
+    *,
+    policy: str = "rule1_first",
+) -> Fraction:
     """The Banzhaf power index of *fact* — a second attribution from #Sat.
 
     ``Banzhaf(f) = 2^{-(|Dn|-1)} · Σ_{D' ⊆ Dn∖{f}} (Q(Dx ∪ D' ∪ {f}) −
@@ -245,8 +284,8 @@ def banzhaf_value(query: BCQ, instance: ShapleyInstance, fact: Fact) -> Fraction
     the unifying algorithm pays nothing extra for it.
     """
     forced, removed = _shifted_instance(instance, fact)
-    with_f = sat_counts(query, forced)
-    without_f = sat_counts(query, removed)
+    with_f = sat_counts(query, forced, policy=policy)
+    without_f = sat_counts(query, removed, policy=policy)
     n = instance.endogenous_count
     flips = sum(with_f[k] - without_f[k] for k in range(n))
     return Fraction(flips, 2 ** (n - 1)) if n > 0 else Fraction(0)

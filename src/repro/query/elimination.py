@@ -18,9 +18,10 @@ therefore the "query plans" of the whole library.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Callable, Iterator, Union
+from typing import Callable, Iterator, Mapping, Union
 
 from repro.exceptions import NotHierarchicalError, QueryError
 from repro.query.atoms import Atom, Variable
@@ -131,10 +132,20 @@ def applicable_rule1_steps(query: BCQ, fresh: "_FreshNames") -> list[Rule1Step]:
 
 
 def applicable_rule2_steps(query: BCQ, fresh: "_FreshNames") -> list[Rule2Step]:
-    """All Rule 2 moves currently applicable to *query*."""
+    """All Rule 2 moves currently applicable to *query*.
+
+    Atoms are bucketed by variable set first, so the cost is linear in the
+    atom count plus the number of applicable pairs — not O(atoms²) pairwise
+    frozenset comparisons.
+    """
+    by_variable_set: dict[frozenset[Variable], list[Atom]] = {}
+    for atom in query.atoms:
+        by_variable_set.setdefault(atom.variable_set, []).append(atom)
     steps = []
-    for first, second in combinations(query.atoms, 2):
-        if first.variable_set == second.variable_set:
+    for atoms in by_variable_set.values():
+        if len(atoms) < 2:
+            continue
+        for first, second in combinations(atoms, 2):
             target = first.renamed(fresh.derive(first.relation))
             steps.append(Rule2Step(first=first, second=second, target=target))
     return steps
@@ -149,16 +160,37 @@ def apply_step(query: BCQ, step: EliminationStep) -> BCQ:
     raise QueryError(f"unknown elimination step {step!r}")
 
 
+_FRESH_SUFFIX = re.compile(r"(?:'+|'\d+)+$")
+
+
 class _FreshNames:
-    """Generates fresh relation symbols by priming existing names (R → R')."""
+    """Generates fresh relation symbols by priming existing names (R → R').
+
+    Short derivation chains keep the paper's pretty names (R → R' → R'' →
+    R'''); beyond that — or on a collision — the generator falls back to
+    counter suffixes on the unprimed stem (R'4, R'5, …).  This keeps name
+    lengths O(log chain) instead of the one-quote-per-step priming that made
+    long elimination chains quadratic in total name size.
+    """
 
     def __init__(self, used: set[str]) -> None:
         self._used = set(used)
+        self._counters: dict[str, int] = {}
 
     def derive(self, base: str) -> str:
+        stem = _FRESH_SUFFIX.sub("", base) or base
         candidate = base + "'"
-        while candidate in self._used:
+        while len(candidate) - len(stem) <= 3:
+            if candidate not in self._used:
+                self._used.add(candidate)
+                return candidate
             candidate += "'"
+        count = self._counters.get(stem, 4)
+        candidate = f"{stem}'{count}"
+        while candidate in self._used:
+            count += 1
+            candidate = f"{stem}'{count}"
+        self._counters[stem] = count + 1
         self._used.add(candidate)
         return candidate
 
@@ -182,13 +214,94 @@ def make_random_policy(seed: int = 0) -> Policy:
     return pick
 
 
+def make_min_support_policy(
+    relation_sizes: Mapping[str, int] | None = None,
+    *,
+    union_merges: bool = False,
+) -> Policy:
+    """A cost-based policy minimizing the estimated intermediate support.
+
+    Parameters
+    ----------
+    relation_sizes:
+        Support sizes of the input relations by relation symbol, when known
+        (``run_algorithm`` supplies them from the annotated database).
+        Unknown relations count as size 1, which degrades gracefully to
+        rule-1-first behaviour when no sizes are available.
+    union_merges:
+        Estimate a Rule 2 merge's output as ``|R1| + |R2|`` (the
+        union-of-supports bound, required for non-annihilating monoids such
+        as Shapley's) instead of the annihilating intersection bound
+        ``min(|R1|, |R2|)``.
+
+    Rule 1 output is estimated by its source size (projection never grows the
+    support — Lemma 6.6).  The chosen step's estimate is recorded as the size
+    of its freshly-named target so later rounds see derived sizes.  Ties
+    break toward Rule 1 steps in variable order, keeping the policy
+    deterministic.
+    """
+    sizes: dict[str, int] = dict(relation_sizes or {})
+
+    def size_of(atom: Atom) -> int:
+        return sizes.get(atom.relation, 1)
+
+    def estimate(step: EliminationStep) -> int:
+        if isinstance(step, Rule1Step):
+            return size_of(step.source)
+        first, second = size_of(step.first), size_of(step.second)
+        return first + second if union_merges else min(first, second)
+
+    def pick(r1: list[Rule1Step], r2: list[Rule2Step]) -> EliminationStep:
+        candidates: list[EliminationStep] = [*r1, *r2]
+        best = min(candidates, key=estimate)
+        sizes[best.target.relation] = estimate(best)
+        return best
+
+    return pick
+
+
 POLICIES: dict[str, Policy] = {
     "rule1_first": _policy_rule1_first,
     "rule2_first": _policy_rule2_first,
 }
 
+#: Policies that need per-run state or data statistics; resolved per call.
+POLICY_FACTORIES: dict[str, Callable[..., Policy]] = {
+    "min_support": make_min_support_policy,
+}
 
-def eliminate(query: BCQ, policy: Policy | str = "rule1_first") -> EliminationTrace:
+
+def policy_names() -> list[str]:
+    """All accepted policy strings (for error messages and CLI choices)."""
+    return sorted([*POLICIES, *POLICY_FACTORIES])
+
+
+def resolve_policy(
+    policy: Policy | str,
+    relation_sizes: Mapping[str, int] | None = None,
+    union_merges: bool = False,
+) -> Policy:
+    """Turn a policy name into a policy function (pass functions through)."""
+    if not isinstance(policy, str):
+        return policy
+    if policy in POLICIES:
+        return POLICIES[policy]
+    if policy in POLICY_FACTORIES:
+        return POLICY_FACTORIES[policy](
+            relation_sizes, union_merges=union_merges
+        )
+    raise QueryError(
+        f"unknown elimination policy {policy!r}; "
+        f"expected one of {policy_names()}"
+    )
+
+
+def eliminate(
+    query: BCQ,
+    policy: Policy | str = "rule1_first",
+    relation_sizes: Mapping[str, int] | None = None,
+    union_merges: bool = False,
+) -> EliminationTrace:
     """Run the elimination procedure of Proposition 5.1 on *query*.
 
     Parameters
@@ -199,6 +312,9 @@ def eliminate(query: BCQ, policy: Policy | str = "rule1_first") -> EliminationTr
         Which applicable step to take when several exist.  All policies reach
         the same success/failure verdict (Proposition 5.1); they may produce
         different traces, which experiment E10 ablates.
+    relation_sizes / union_merges:
+        Statistics forwarded to cost-based policy factories (currently
+        ``"min_support"``); ignored for plain policies.
 
     Returns
     -------
@@ -206,16 +322,7 @@ def eliminate(query: BCQ, policy: Policy | str = "rule1_first") -> EliminationTr
         With ``success=True`` iff *query* is hierarchical.
     """
     query.require_self_join_free()
-    if isinstance(policy, str):
-        try:
-            policy_fn = POLICIES[policy]
-        except KeyError:
-            raise QueryError(
-                f"unknown elimination policy {policy!r}; "
-                f"expected one of {sorted(POLICIES)}"
-            ) from None
-    else:
-        policy_fn = policy
+    policy_fn = resolve_policy(policy, relation_sizes, union_merges)
 
     fresh = _FreshNames({atom.relation for atom in query.atoms})
     current = query

@@ -4,6 +4,7 @@ The examples are the library's public face; they must execute cleanly with
 the installed package and produce their headline claims.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,15 +12,23 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 
 def run_example(name: str, *args: str) -> str:
+    # Child processes don't inherit pytest's `pythonpath` ini setting, so
+    # make the package importable explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(SRC_DIR), env.get("PYTHONPATH")])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), *args],
         capture_output=True,
         text=True,
         timeout=300,
         check=False,
+        env=env,
     )
     assert result.returncode == 0, (
         f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
@@ -71,11 +80,16 @@ class TestExampleScripts:
         assert "E1: Elimination traces" in output
 
     def test_run_all_experiments_rejects_unknown(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(SRC_DIR), env.get("PYTHONPATH")])
+        )
         result = subprocess.run(
             [sys.executable, str(EXAMPLES_DIR / "run_all_experiments.py"), "E99"],
             capture_output=True,
             text=True,
             timeout=60,
+            env=env,
         )
         assert result.returncode != 0
         assert "unknown experiment" in result.stderr
