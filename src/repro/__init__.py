@@ -56,6 +56,7 @@ from repro.core import (
     run_algorithm,
 )
 from repro.db import Database, Fact, KDatabase, KRelation, repair_cost
+from repro.engine import Engine, EngineSession
 from repro.db.evaluation import (
     count_satisfying_assignments,
     evaluates_true,
@@ -113,6 +114,8 @@ __all__ = [
     "CountingMonoid",
     "CountingSemiring",
     "Database",
+    "Engine",
+    "EngineSession",
     "ExactProbabilityMonoid",
     "Fact",
     "KDatabase",

@@ -83,7 +83,11 @@ def _add_into(target: list[int], extra: Sequence[int]) -> None:
 
 
 def kron_convolve(
-    left: Sequence[int], right: Sequence[int], length: int
+    left: Sequence[int],
+    right: Sequence[int],
+    length: int,
+    *,
+    pack=None,
 ) -> list[int]:
     """(+, ×) convolution truncated to *length* via Kronecker substitution.
 
@@ -104,7 +108,13 @@ def kron_convolve(
 
     Coefficients must be non-negative (the ``#Sat`` carrier guarantees it);
     negative inputs raise ``OverflowError`` during packing.
+
+    *pack* overrides the packing routine ``(values, count, width) -> int``;
+    :class:`ShapleyKernel` passes a caching wrapper so big-int operands are
+    packed once and reused across fold steps (see :meth:`ShapleyKernel._pack`).
     """
+    if pack is None:
+        pack = _kron_pack
     n1 = min(len(left), length)
     n2 = min(len(right), length)
     while n1 and not left[n1 - 1]:
@@ -126,7 +136,7 @@ def kron_convolve(
             return [0] * length
         bound = min(n1, n2) * max_left * max_right
         width = (bound.bit_length() + 7) // 8
-        product = _kron_pack(left, n1, width) * _kron_pack(right, n2, width)
+        product = pack(left, n1, width) * pack(right, n2, width)
         out_length = min(length, n1 + n2 - 1)
         raw = product.to_bytes((n1 + n2) * width, "little")
         out = [
@@ -284,6 +294,11 @@ class ShapleyMonoid(TwoMonoid[SatVector]):
         return vector
 
 
+#: Bound on each per-kernel reuse cache; on overflow the cache is cleared
+#: wholesale (the workloads re-warm it within one fold step).
+KERNEL_CACHE_LIMIT = 1 << 14
+
+
 class ShapleyKernel(MonoidKernel[SatVector]):
     """Batched ``#Sat`` operations via Kronecker-substitution convolution.
 
@@ -296,6 +311,24 @@ class ShapleyKernel(MonoidKernel[SatVector]):
     :func:`kron_convolve` this turns ``O(n²)`` Python loops into a handful
     of C-level big-int multiplications, while remaining bit-identical to
     the scalar :class:`ShapleyMonoid` path.
+
+    The kernel additionally keeps three bounded reuse caches, keyed by the
+    (immutable) operand vectors:
+
+    * ``packed`` — Kronecker-packed big-int operands per ``(coeffs, width)``,
+      so a vector appearing in many ⊕/⊗ applications is packed once and its
+      big int reused across fold steps instead of re-packed at every ⊕;
+    * ``totals`` — the marginal slice ``xF + xT`` per vector;
+    * ``products`` — whole ⊕/⊗ results per operand pair (Rule 2 merges
+      re-pair the same annotations across many tuples).
+
+    Kernels are memoized on their monoid instance (see
+    :func:`repro.core.kernels.kernel_for`), so an
+    :class:`~repro.engine.session.EngineSession` that pins one
+    :class:`ShapleyMonoid` keeps these caches warm across *every* evaluation
+    request it answers — the packed-state reuse the session API exists for.
+    All cached values are exact immutable ints/tuples; hits are bit-identical
+    to recomputation.
     """
 
     def __init__(self, monoid: ShapleyMonoid):
@@ -304,10 +337,69 @@ class ShapleyKernel(MonoidKernel[SatVector]):
         self._zero = monoid.zero
         self._one = monoid.one
         self._star = monoid.star
+        self._pack_cache: dict[tuple, int] = {}
+        self._totals_cache: dict[SatVector, tuple[int, ...]] = {}
+        self._product_cache: dict[tuple, SatVector] = {}
+        self._pack_hits = 0
+        self._pack_misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        """Sizes and hit counters of the reuse caches (tests/diagnostics)."""
+        return {
+            "packed": len(self._pack_cache),
+            "pack_hits": self._pack_hits,
+            "pack_misses": self._pack_misses,
+            "totals": len(self._totals_cache),
+            "products": len(self._product_cache),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop every cached packed operand, total and product."""
+        self._pack_cache.clear()
+        self._totals_cache.clear()
+        self._product_cache.clear()
+        self._pack_hits = 0
+        self._pack_misses = 0
+
+    # -- reuse caches ----------------------------------------------------
+    def _pack(self, values: Sequence[int], count: int, width: int) -> int:
+        """Caching :func:`_kron_pack`: one packing per ``(coeffs, width)``."""
+        if isinstance(values, tuple) and len(values) == count:
+            coeffs = values
+        else:
+            coeffs = tuple(values[:count])
+        key = (coeffs, width)
+        packed = self._pack_cache.get(key)
+        if packed is None:
+            self._pack_misses += 1
+            if len(self._pack_cache) >= KERNEL_CACHE_LIMIT:
+                self._pack_cache.clear()
+            packed = _kron_pack(coeffs, count, width)
+            self._pack_cache[key] = packed
+        else:
+            self._pack_hits += 1
+        return packed
+
+    def _convolve(self, left: Sequence[int], right: Sequence[int]) -> list[int]:
+        return kron_convolve(left, right, self._length, pack=self._pack)
 
     # -- scalar building blocks (with the same spike fast paths) --------
-    def _totals(self, vector: SatVector) -> list[int]:
-        return [f + t for f, t in zip(vector.false_counts, vector.true_counts)]
+    def _totals(self, vector: SatVector) -> tuple[int, ...]:
+        totals = self._totals_cache.get(vector)
+        if totals is None:
+            if len(self._totals_cache) >= KERNEL_CACHE_LIMIT:
+                self._totals_cache.clear()
+            totals = tuple(
+                f + t for f, t in zip(vector.false_counts, vector.true_counts)
+            )
+            self._totals_cache[vector] = totals
+        return totals
+
+    def _cache_product(self, key: tuple, result: SatVector) -> SatVector:
+        if len(self._product_cache) >= KERNEL_CACHE_LIMIT:
+            self._product_cache.clear()
+        self._product_cache[key] = result
+        return result
 
     def _add(self, left: SatVector, right: SatVector) -> SatVector:
         if left == self._zero:
@@ -319,13 +411,16 @@ class ShapleyKernel(MonoidKernel[SatVector]):
             return monoid._or_collapse(right)
         if right == self._one:
             return monoid._or_collapse(left)
-        length = self._length
-        totals = kron_convolve(self._totals(left), self._totals(right), length)
-        false_counts = kron_convolve(
-            left.false_counts, right.false_counts, length
-        )
+        key = (True, left, right)
+        cached = self._product_cache.get(key)
+        if cached is not None:
+            return cached
+        totals = self._convolve(self._totals(left), self._totals(right))
+        false_counts = self._convolve(left.false_counts, right.false_counts)
         true_counts = tuple(s - f for s, f in zip(totals, false_counts))
-        return SatVector(tuple(false_counts), true_counts)
+        return self._cache_product(
+            key, SatVector(tuple(false_counts), true_counts)
+        )
 
     def _mul(self, left: SatVector, right: SatVector) -> SatVector:
         if left == self._one:
@@ -337,11 +432,33 @@ class ShapleyKernel(MonoidKernel[SatVector]):
             return monoid._and_collapse(right)
         if right == self._zero:
             return monoid._and_collapse(left)
-        length = self._length
-        totals = kron_convolve(self._totals(left), self._totals(right), length)
-        true_counts = kron_convolve(left.true_counts, right.true_counts, length)
+        key = (False, left, right)
+        cached = self._product_cache.get(key)
+        if cached is not None:
+            return cached
+        totals = self._convolve(self._totals(left), self._totals(right))
+        true_counts = self._convolve(left.true_counts, right.true_counts)
         false_counts = tuple(s - t for s, t in zip(totals, true_counts))
-        return SatVector(false_counts, tuple(true_counts))
+        return self._cache_product(
+            key, SatVector(false_counts, tuple(true_counts))
+        )
+
+    # -- bulk ψ-annotation -----------------------------------------------
+    def annotation_is_zero(self):
+        """Zero test with identity fast paths for the ψ spikes.
+
+        The Definition 5.15 ψ maps every fact to one of the distinguished
+        instances ``1``/``★``/``0`` the monoid hands out, so identity checks
+        classify almost every annotation without a deep vector comparison
+        (``★`` and ``0`` share their false-slice, so ``== zero`` would walk
+        the whole slice before differing).
+        """
+        zero, one, star = self._zero, self._one, self._star
+        return lambda annotation: annotation is zero or (
+            annotation is not one
+            and annotation is not star
+            and annotation == zero
+        )
 
     def _spike_fold(self, ones: int, stars: int) -> SatVector:
         """Closed form for ``1^⊕ones ⊕ ★^⊕stars`` (at least one spike).

@@ -1,22 +1,32 @@
-"""Scalar-vs-kernel performance suite: the ``BENCH_perf.json`` trajectory.
+"""Performance suite: the ``BENCH_perf.json`` trajectory.
 
-Reruns the hot workloads of three scaling experiments — E2 (probabilistic
-query evaluation), E4 (bag-set maximization) and E6 (Shapley ``#Sat``) —
-twice per configuration: once through the batched kernel engine
-(``kernel_mode="auto"``) and once through the per-tuple scalar baseline
-(``kernel_mode="scalar"``), asserting answer agreement and recording wall
-times and speedups in a machine-readable document.  ``repro bench --json
-BENCH_perf.json`` regenerates the artifact; future PRs compare against it to
-keep the perf trajectory monotone.
+Two kinds of measurements:
 
-The ``quick`` mode shrinks every sweep to sub-second sizes; the tier-1 smoke
-test uses it to assert kernel/scalar agreement without timing anything.
+* **scalar vs kernel** — reruns the hot workloads of three scaling
+  experiments (E2 PQE, E4 bag-set maximization, E6 Shapley ``#Sat``) twice
+  per configuration: once through the batched kernel engine
+  (``kernel_mode="auto"``) and once through the per-tuple scalar baseline
+  (``kernel_mode="scalar"``), asserting answer agreement;
+* **amortized session throughput** (the ``engine`` scenario) — replays a
+  mixed request stream (PQE + Shapley ``#Sat`` + resilience, several rounds)
+  over **one** database, once through the one-shot front-ends (fresh
+  ψ-annotation and session per call) and once through a single long-lived
+  :class:`~repro.engine.EngineSession` that reuses the annotated databases,
+  monoid kernels and packed big-int Shapley operands across every request.
+  It also times the bulk ψ-annotation build against the per-fact ``set``
+  loop on the E6 largest configuration.
+
+``repro bench --json BENCH_perf.json`` regenerates the artifact; future PRs
+compare against it to keep the perf trajectory monotone.  The ``quick`` mode
+shrinks every sweep to sub-second sizes; the tier-1 smoke test uses it to
+assert agreement without timing anything.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import random
 import time
 from pathlib import Path
 from typing import Callable
@@ -28,7 +38,9 @@ from repro.bench.harness import time_callable
 from repro.core.algorithm import execute_plan
 from repro.core.plan import compile_plan
 from repro.db.annotated import KDatabase
+from repro.db.database import Database
 from repro.problems.bagset_max import annotation_psi as bagset_psi
+from repro.problems.shapley import ShapleyInstance
 from repro.problems.shapley import annotation_psi as shapley_psi
 from repro.query.families import q_eq1, star_query
 from repro.workloads.generators import (
@@ -37,7 +49,7 @@ from repro.workloads.generators import (
 )
 
 #: Format version of the BENCH_perf.json document.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _measure_plan(
@@ -163,10 +175,137 @@ def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
     }
 
 
+def _values_agree(left, right) -> bool:
+    """Answer agreement across the one-shot and session paths."""
+    if isinstance(left, float) or isinstance(right, float):
+        return abs(left - right) <= 1e-9 or left == right
+    return left == right
+
+
+def perf_engine(quick: bool = False, repeats: int = 3) -> dict:
+    """Amortized many-requests-one-database throughput (EngineSession).
+
+    Per configuration: a mixed stream of ``rounds × (PQE, Shapley #Sat,
+    resilience)`` requests, issued through the one-shot front-ends (each call
+    re-annotates and reopens) and through one session (shared ψ-annotated
+    databases, warm kernels and packed Shapley operands).  Also times the
+    bulk ψ-annotation build against the per-fact ``set`` loop on the E6
+    largest configuration.
+    """
+    from repro.bench.experiments import _split_instance
+    from repro.engine import Engine
+    from repro.problems.pqe import marginal_probability
+    from repro.problems.resilience import ResilienceInstance, resilience
+    from repro.problems.shapley import sat_vector
+
+    sizes = (300,) if quick else (600, 1200, 2400)
+    rounds = 2 if quick else 6
+    endo_count = 16 if quick else 48
+    repeats = 1 if quick else repeats
+    query = star_query(2)
+    runs = []
+    agree = True
+    for size in sizes:
+        database = random_probabilistic_database(
+            query, facts_per_relation=size // 3,
+            domain_size=max(4, size // 6), seed=size,
+        )
+        support = database.support_database()
+        facts = list(support.facts())
+        random.Random(size).shuffle(facts)
+        endogenous = Database(facts[:endo_count])
+        exogenous = Database(facts[endo_count:])
+        instance = ShapleyInstance(exogenous=exogenous, endogenous=endogenous)
+        rinstance = ResilienceInstance(
+            exogenous=exogenous, endogenous=endogenous
+        )
+
+        def one_shot():
+            answers = []
+            for _round in range(rounds):
+                answers.append(marginal_probability(query, database))
+                answers.append(sat_vector(query, instance))
+                answers.append(resilience(query, rinstance))
+            return answers
+
+        def amortized():
+            session = Engine().open(
+                query,
+                probabilistic=database,
+                exogenous=exogenous,
+                endogenous=endogenous,
+            )
+            answers = []
+            for _round in range(rounds):
+                answers.append(session.pqe())
+                answers.append(session.sat_vector())
+                answers.append(session.resilience())
+            return answers
+
+        oneshot_time, oneshot_answers = time_callable(one_shot, repeats=repeats)
+        session_time, session_answers = time_callable(amortized, repeats=repeats)
+        identical = all(
+            _values_agree(left, right)
+            for left, right in zip(oneshot_answers, session_answers)
+        )
+        agree = agree and identical
+        runs.append({
+            "oneshot_s": oneshot_time,
+            "session_s": session_time,
+            "speedup": oneshot_time / max(session_time, 1e-12),
+            "params": {
+                "|D|": len(database),
+                "|Dn|": endo_count,
+                "requests": rounds * 3,
+            },
+            "identical": identical,
+        })
+
+    # Bulk vs per-fact ψ-annotation on the E6 largest configuration.
+    e6 = _split_instance(
+        query, exogenous=40, endogenous=(24 if quick else 256), seed=256
+    )
+    monoid = ShapleyMonoid(e6.endogenous_count + 1)
+    psi = shapley_psi(e6, monoid)
+    e6_facts = [*e6.exogenous.facts(), *e6.endogenous.facts()]
+
+    def per_fact():
+        annotated = KDatabase(query, monoid)
+        for fact in e6_facts:
+            annotated.set(fact, psi(fact))
+        return annotated
+
+    def bulk():
+        return KDatabase.annotate(query, monoid, e6_facts, psi)
+
+    per_fact_time, per_fact_db = time_callable(per_fact, repeats=max(repeats, 3))
+    bulk_time, bulk_db = time_callable(bulk, repeats=max(repeats, 3))
+    annotation_identical = all(
+        dict(left.items()) == dict(right.items())
+        for left, right in zip(per_fact_db.relations(), bulk_db.relations())
+    )
+    agree = agree and annotation_identical
+    annotation = {
+        "per_fact_s": per_fact_time,
+        "bulk_s": bulk_time,
+        "speedup": per_fact_time / max(bulk_time, 1e-12),
+        "params": {"|D|": len(e6_facts), "|Dn|": e6.endogenous_count},
+        "identical": annotation_identical,
+    }
+    return {
+        "title": "Amortized session throughput (PQE + #Sat + resilience)",
+        "agreement": "session ≡ one-shot" if agree else "DISAGREEMENT",
+        "agree": agree,
+        "runs": runs,
+        "annotation": annotation,
+    }
+
+
 PERF_EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "E2": perf_e2_pqe,
     "E4": perf_e4_bsm,
     "E6": perf_e6_shapley,
+    "engine": perf_engine,
 }
 
 
@@ -212,19 +351,29 @@ def write_perf_json(document: dict, path: str | Path) -> Path:
     return path
 
 
+def _render_run(run: dict) -> str:
+    """One timing line: every ``*_s`` entry plus the speedup."""
+    params = ", ".join(
+        f"{key}={value}" for key, value in run["params"].items()
+    )
+    timings = "  ".join(
+        f"{key[:-2]} {value:.4f}s"
+        for key, value in run.items()
+        if key.endswith("_s")
+    )
+    return f"  {params:<28} {timings}  speedup {run['speedup']:.1f}x"
+
+
 def render_perf_summary(document: dict) -> str:
     """Human-readable digest of a perf document for the CLI."""
     lines = []
     for name, experiment in document["experiments"].items():
         lines.append(f"== {name}: {experiment['title']} ==")
         for run in experiment["runs"]:
-            params = ", ".join(
-                f"{key}={value}" for key, value in run["params"].items()
-            )
-            lines.append(
-                f"  {params:<28} scalar {run['scalar_s']:.4f}s  "
-                f"kernel {run['kernel_s']:.4f}s  "
-                f"speedup {run['speedup']:.1f}x"
-            )
+            lines.append(_render_run(run))
+        annotation = experiment.get("annotation")
+        if annotation is not None:
+            lines.append("  -- bulk vs per-fact ψ-annotation (E6 largest) --")
+            lines.append(_render_run(annotation))
         lines.append(f"  agreement: {experiment['agreement']}")
     return "\n".join(lines)

@@ -8,8 +8,14 @@ Commands
 ``bsm``         bag-set maximization (optionally with the repair witness)
 ``shapley``     Shapley (and Banzhaf) values of endogenous facts
 ``resilience``  resilience and an optimal contingency set
+``cache``       compiled-plan cache counters (``--clear`` to drop it)
 ``experiments`` regenerate EXPERIMENTS.md tables
-``bench``       scalar-vs-kernel perf suite (optionally to BENCH_perf.json)
+``bench``       scalar-vs-kernel + amortized-session perf suite
+
+The evaluation commands (``pqe``, ``bsm``, ``shapley``, ``resilience``) run
+through the unified engine: each builds an :class:`~repro.engine.Engine`
+from the command-line policy and opens one
+:class:`~repro.engine.EngineSession` for all of the command's requests.
 
 Databases are JSON files in the :mod:`repro.db.io` formats::
 
@@ -32,22 +38,13 @@ from repro.bench.perf import (
     run_perf_suite,
     write_perf_json,
 )
-from repro.core.plan import compile_plan
+from repro.core.plan import clear_plan_cache, compile_plan, plan_cache_info
 from repro.db.evaluation import count_satisfying_assignments
 from repro.db.io import load_database, load_probabilistic
+from repro.engine import Engine
 from repro.exceptions import ReproError
-from repro.problems.bagset_max import (
-    BagSetInstance,
-    maximize_profile,
-    optimal_repair,
-)
-from repro.problems.pqe import marginal_probability
-from repro.problems.resilience import (
-    ResilienceInstance,
-    contingency_set,
-    resilience,
-)
-from repro.problems.shapley import ShapleyInstance, banzhaf_value, shapley_values
+from repro.problems.bagset_max import BagSetInstance, optimal_repair
+from repro.problems.resilience import ResilienceInstance, contingency_set
 from repro.query.elimination import eliminate, policy_names
 from repro.query.hierarchy import is_hierarchical
 from repro.query.parser import parse_query
@@ -110,6 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--witness", action="store_true", help="also print a contingency set"
     )
 
+    cache = commands.add_parser(
+        "cache", help="compiled-plan cache counters"
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="drop every memoized plan first"
+    )
+
     experiments = commands.add_parser(
         "experiments", help="regenerate EXPERIMENTS.md tables"
     )
@@ -118,7 +122,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     bench = commands.add_parser(
-        "bench", help="scalar-vs-kernel perf suite (BENCH_perf.json)"
+        "bench",
+        help="scalar-vs-kernel + amortized-session perf suite (BENCH_perf.json)",
     )
     bench.add_argument(
         "ids", nargs="*", help=f"subset of {', '.join(PERF_EXPERIMENTS)}"
@@ -157,12 +162,16 @@ def _cmd_count(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_from(args: argparse.Namespace) -> Engine:
+    """An engine configured from the command's ``--policy`` flag."""
+    return Engine(policy=getattr(args, "policy", "rule1_first"))
+
+
 def _cmd_pqe(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     database = load_probabilistic(args.db)
-    probability = marginal_probability(
-        query, database, exact=args.exact, policy=args.policy
-    )
+    session = _engine_from(args).open(query, probabilistic=database)
+    probability = session.pqe(exact=args.exact)
     if args.exact:
         print(f"{probability} ≈ {float(probability):.6f}")
     else:
@@ -172,12 +181,13 @@ def _cmd_pqe(args: argparse.Namespace) -> int:
 
 def _cmd_bsm(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
+    database = load_database(args.db)
+    repair = load_database(args.repair)
     instance = BagSetInstance(
-        database=load_database(args.db),
-        repair_database=load_database(args.repair),
-        budget=args.budget,
+        database=database, repair_database=repair, budget=args.budget
     )
-    profile = maximize_profile(query, instance, policy=args.policy)
+    session = _engine_from(args).open(query, database=database, repair=repair)
+    profile = session.bagset_profile(args.budget)
     print(f"optimal Q(D') at budget θ={args.budget}: {profile[args.budget]}")
     print(f"budget profile q(0..θ): {profile}")
     if args.witness:
@@ -190,19 +200,17 @@ def _cmd_bsm(args: argparse.Namespace) -> int:
 
 def _cmd_shapley(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
-    instance = ShapleyInstance(
+    session = _engine_from(args).open(
+        query,
         exogenous=load_database(args.exogenous),
         endogenous=load_database(args.endogenous),
     )
-    values = shapley_values(query, instance, policy=args.policy)
+    values = session.shapley_values()
     ranked = sorted(values.items(), key=lambda kv: (-kv[1], repr(kv[0])))
     for fact, value in ranked:
         line = f"{str(fact):<40} shapley={value}"
         if args.banzhaf:
-            line += (
-                f"  banzhaf="
-                f"{banzhaf_value(query, instance, fact, policy=args.policy)}"
-            )
+            line += f"  banzhaf={session.banzhaf_value(fact)}"
         print(line)
     return 0
 
@@ -218,7 +226,10 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         exogenous=exogenous or Database(),
         endogenous=load_database(args.db),
     )
-    value = resilience(query, instance)
+    session = Engine().open(
+        query, exogenous=instance.exogenous, endogenous=instance.endogenous
+    )
+    value = session.resilience()
     if math.isinf(value):
         print("resilience: ∞ (the exogenous facts alone satisfy the query)")
     else:
@@ -229,6 +240,19 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             print("a minimum contingency set:")
             for fact in sorted(chosen, key=repr):
                 print(f"  - {fact}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.clear:
+        clear_plan_cache()
+        print("plan cache cleared")
+    info = plan_cache_info()
+    for key in ("size", "max_size", "hits", "misses"):
+        print(f"{key}: {info[key]}")
+    total = info["hits"] + info["misses"]
+    if total:
+        print(f"hit_rate: {info['hits'] / total:.1%}")
     return 0
 
 
@@ -270,6 +294,7 @@ _HANDLERS = {
     "bsm": _cmd_bsm,
     "shapley": _cmd_shapley,
     "resilience": _cmd_resilience,
+    "cache": _cmd_cache,
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
 }

@@ -37,6 +37,7 @@ from repro.core.plan import (
     compile_plan,
     plan_cache_info,
     plan_from_trace,
+    set_plan_cache_size,
 )
 
 __all__ = [
@@ -69,4 +70,5 @@ __all__ = [
     "read_once_lineage",
     "render_rules",
     "run_algorithm",
+    "set_plan_cache_size",
 ]

@@ -145,13 +145,17 @@ def run_algorithm(
 ) -> K:
     """Run Algorithm 1 on *query* and the K-annotated database *annotated*.
 
-    Raises :class:`~repro.exceptions.NotHierarchicalError` for
+    A thin adapter over the engine subsystem: opens a throwaway
+    :class:`~repro.engine.session.EngineSession` bound to the pre-annotated
+    database.  Raises :class:`~repro.exceptions.NotHierarchicalError` for
     non-hierarchical queries (line 10 of Algorithm 1 / Proposition 5.1).
     """
-    plan = compile_for_database(query, annotated, policy)
-    return execute_plan(  # type: ignore[return-value]
-        plan, annotated, on_step=on_step, kernel_mode=kernel_mode
-    ).result
+    from repro.engine import Engine
+
+    session = Engine(policy=policy, kernel_mode=kernel_mode).open(
+        query, annotated=annotated
+    )
+    return session.run(on_step=on_step)  # type: ignore[return-value]
 
 
 def evaluate_hierarchical(
@@ -165,9 +169,12 @@ def evaluate_hierarchical(
 ) -> K:
     """Convenience wrapper: annotate *facts* with ψ = *annotation_of* and run.
 
-    This is the shape all three problem front-ends use: build the ψ-annotated
-    database of Definitions 5.10/5.15 (or the identity annotation for
-    probabilities) and execute the compiled plan.
+    This is the shape all the problem front-ends reduce to — build the
+    ψ-annotated database of Definitions 5.10/5.15 (bulk path) and execute
+    the compiled plan — expressed as a one-shot
+    :meth:`~repro.engine.session.EngineSession.evaluate` request.
     """
-    annotated = KDatabase.annotate(query, monoid, facts, annotation_of)
-    return run_algorithm(query, annotated, policy=policy, kernel_mode=kernel_mode)
+    from repro.engine import Engine
+
+    session = Engine(policy=policy, kernel_mode=kernel_mode).open(query)
+    return session.evaluate(monoid, facts, annotation_of)

@@ -214,7 +214,13 @@ def evaluate_grouped(
     kernel_mode: str = "auto",
 ) -> KRelation[K]:
     """Annotate, compile and execute in one call (free-variable analogue of
-    :func:`repro.core.algorithm.evaluate_hierarchical`)."""
-    plan = compile_grouped_plan(query, free_variables)
-    annotated = KDatabase.annotate(query, monoid, facts, annotation_of)
-    return execute_grouped_plan(plan, annotated, kernel_mode=kernel_mode)
+    :func:`repro.core.algorithm.evaluate_hierarchical`).
+
+    A thin adapter over :meth:`repro.engine.session.EngineSession.grouped`.
+    """
+    from repro.engine import Engine
+
+    session = Engine(kernel_mode=kernel_mode).open(query)
+    return session.grouped(
+        free_variables, monoid, annotation_of=annotation_of, facts=facts
+    )

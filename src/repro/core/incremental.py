@@ -52,6 +52,11 @@ class IncrementalEvaluator(Generic[K]):
     policy:
         Elimination policy for the compiled plan; ``"min_support"`` uses the
         initial database's support sizes.
+    kernel_mode:
+        ``"auto"`` routes the initial :meth:`_build` through the batched
+        kernel engine, ``"scalar"`` forces per-element dispatch.  Updates
+        re-derive single chains and always use scalar monoid operations;
+        both modes maintain identical results (the tests check this).
     """
 
     def __init__(
@@ -59,19 +64,20 @@ class IncrementalEvaluator(Generic[K]):
         query: BCQ,
         annotated: KDatabase[K],
         policy: str = "rule1_first",
+        *,
+        kernel_mode: str = "auto",
     ):
         from repro.core.algorithm import compile_for_database
 
         self.query = query
         self.monoid: TwoMonoid[K] = annotated.monoid
+        self.kernel_mode = kernel_mode
         self.plan: Plan = compile_for_database(query, annotated, policy)
         # Stage relations by name: the query's inputs plus every step output.
-        self._stages: dict[str, KRelation[K]] = {}
-        for relation in annotated.relations():
-            copy = KRelation(relation.atom, self.monoid)
-            for values, annotation in relation.items():
-                copy.set(values, annotation)
-            self._stages[relation.atom.relation] = copy
+        self._stages: dict[str, KRelation[K]] = {
+            relation.atom.relation: relation.copy()
+            for relation in annotated.relations()
+        }
         # Which step consumes each relation (each is consumed exactly once).
         self._consumer: dict[str, int] = {}
         for index, step in enumerate(self.plan.steps):
@@ -88,6 +94,12 @@ class IncrementalEvaluator(Generic[K]):
     # Initial build
     # ------------------------------------------------------------------
     def _build(self) -> None:
+        from repro.core.algorithm import _kernel_context
+
+        with _kernel_context(self.kernel_mode):
+            self._build_stages()
+
+    def _build_stages(self) -> None:
         for index, step in enumerate(self.plan.steps):
             if isinstance(step, ProjectStep):
                 source = self._stages[step.source.relation]
@@ -207,9 +219,13 @@ def _key_for_side(step: MergeStep, side, out_key: Key) -> Key:
 
 
 def incremental_evaluator(
-    query: BCQ, monoid: TwoMonoid[K], annotated: KDatabase[K] | None = None
+    query: BCQ,
+    monoid: TwoMonoid[K],
+    annotated: KDatabase[K] | None = None,
+    *,
+    kernel_mode: str = "auto",
 ) -> IncrementalEvaluator[K]:
     """Build an evaluator, starting from an empty database when none given."""
     if annotated is None:
         annotated = KDatabase(query, monoid)
-    return IncrementalEvaluator(query, annotated)
+    return IncrementalEvaluator(query, annotated, kernel_mode=kernel_mode)

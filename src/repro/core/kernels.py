@@ -78,6 +78,52 @@ class MonoidKernel(Generic[K]):
         """Pairwise ``lefts[i] ⊗ rights[i]``; the sequences are equal-length."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Bulk ψ-annotation (the Definitions 5.10/5.15 database build)
+    # ------------------------------------------------------------------
+    def map_annotations(self, annotation_of: Callable[[object], K], facts: Sequence) -> list[K]:
+        """ψ over a whole batch of facts in one pass.
+
+        The default is a single list comprehension — one C-level loop driving
+        the Python-level ψ — which :meth:`KDatabase.bulk_annotate` calls once
+        per relation instead of once per fact.
+        """
+        return [annotation_of(fact) for fact in facts]
+
+    def annotation_is_zero(self) -> Callable[[K], bool]:
+        """The ⊕-identity test :meth:`annotate_support` filters with.
+
+        Returns a plain closure (built once per batch) that tries an identity
+        comparison against ``monoid.zero`` before falling back to
+        :meth:`TwoMonoid.is_zero`.  Kernels may override *this* — never
+        :meth:`annotate_support` itself — when their carrier affords a
+        cheaper classification (e.g. the Shapley ψ-spikes); the staging
+        semantics live in exactly one place.
+        """
+        zero = self.monoid.zero
+        is_zero = self.monoid.is_zero
+        return lambda annotation: annotation is zero or is_zero(annotation)
+
+    def annotate_support(
+        self, keys: Sequence, annotations: Sequence[K]
+    ) -> dict:
+        """Build a support mapping from aligned ``(key, ψ)`` batches.
+
+        Matches the semantics of repeated :meth:`KRelation.set` calls: a later
+        occurrence of a key wins, and ⊕-identity annotations are dropped (a
+        trailing zero deletes earlier occurrences of its key).  The mapping is
+        built with one ``dict`` constructor call and filtered with
+        :meth:`annotation_is_zero`.
+        """
+        staged = dict(zip(keys, annotations))
+        drop = self.annotation_is_zero()
+        dropped = [
+            key for key, annotation in staged.items() if drop(annotation)
+        ]
+        for key in dropped:
+            del staged[key]
+        return staged
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.monoid.name!r}>"
 

@@ -23,7 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Union
 
-from repro.exceptions import NotHierarchicalError
+from repro.exceptions import NotHierarchicalError, ReproError
 from repro.query.atoms import Atom, Variable
 from repro.query.bcq import BCQ
 from repro.query.elimination import (
@@ -164,6 +164,20 @@ def clear_plan_cache() -> None:
     _plan_cache.clear()
     _plan_cache_hits = 0
     _plan_cache_misses = 0
+
+
+def set_plan_cache_size(size: int) -> None:
+    """Resize the plan cache, evicting oldest entries when shrinking.
+
+    The :class:`~repro.engine.engine.Engine` configuration surface for the
+    cache; hit/miss counters are preserved.
+    """
+    global PLAN_CACHE_SIZE
+    if size < 1:
+        raise ReproError(f"plan cache size must be positive, got {size}")
+    PLAN_CACHE_SIZE = size
+    while len(_plan_cache) > PLAN_CACHE_SIZE:
+        _plan_cache.popitem(last=False)
 
 
 def plan_from_trace(trace: EliminationTrace) -> Plan:

@@ -24,7 +24,7 @@ always-correct scalar fallback otherwise (see :mod:`repro.core.kernels`).
 from __future__ import annotations
 
 from operator import itemgetter
-from typing import Callable, Generic, Iterable, Iterator, Mapping
+from typing import Callable, Generic, Iterable, Iterator, Mapping, Sequence
 
 from repro.algebra.base import K, TwoMonoid
 from repro.db.database import Database
@@ -100,6 +100,55 @@ class KRelation(Generic[K]):
             self._annotations.pop(values, None)
         else:
             self._annotations[values] = annotation
+
+    def bulk_load(
+        self,
+        keys: Sequence[tuple[Value, ...]],
+        annotations: Sequence[K],
+    ) -> None:
+        """Load aligned ``(tuple, annotation)`` batches in one kernel pass.
+
+        Semantically equivalent to calling :meth:`set` once per pair — later
+        occurrences of a key win, ⊕-identity annotations drop the key — but
+        the support dict is produced by the monoid kernel's
+        :meth:`~repro.core.kernels.MonoidKernel.annotate_support` in one
+        ``dict`` constructor call instead of a per-tuple ``set`` dispatch.
+        This is the hot path of the bulk ψ-annotation build
+        (:meth:`KDatabase.bulk_annotate`); *keys* must already be tuples
+        (e.g. :attr:`~repro.db.fact.Fact.values`).
+        """
+        if len(keys) != len(annotations):
+            raise SchemaError(
+                f"bulk_load got {len(keys)} tuples but "
+                f"{len(annotations)} annotations"
+            )
+        arity = self.atom.arity
+        bad = next((values for values in keys if len(values) != arity), None)
+        if bad is not None:
+            raise SchemaError(
+                f"tuple {bad} has arity {len(bad)}; atom {self.atom} "
+                f"expects {arity}"
+            )
+        if not self._annotations:
+            self._annotations = _kernel_for(self.monoid).annotate_support(
+                keys, annotations
+            )
+            return
+        # Merging into existing support: a zero-annotated key in the batch
+        # must still delete any earlier entry, so replay with set semantics.
+        annotations_dict = self._annotations
+        is_zero = self.monoid.is_zero
+        for values, annotation in dict(zip(keys, annotations)).items():
+            if is_zero(annotation):
+                annotations_dict.pop(values, None)
+            else:
+                annotations_dict[values] = annotation
+
+    def copy(self) -> "KRelation[K]":
+        """An independent copy (same atom/monoid, cloned support dict)."""
+        clone = KRelation(self.atom, self.monoid)
+        clone._annotations = dict(self._annotations)
+        return clone
 
     def support(self) -> frozenset[tuple[Value, ...]]:
         """The tuples with non-zero annotation (Definition 6.5)."""
@@ -297,11 +346,47 @@ class KDatabase(Generic[K]):
         facts: Iterable[Fact],
         annotation_of: Callable[[Fact], K],
     ) -> "KDatabase[K]":
-        """Annotate *facts* with ``annotation_of`` (the ψ of Defs. 5.10/5.15)."""
+        """Annotate *facts* with ``annotation_of`` (the ψ of Defs. 5.10/5.15).
+
+        Uses the bulk build path (:meth:`bulk_annotate`): facts are grouped
+        per relation, ψ is computed in one batched kernel pass per group, and
+        each relation's support dict is built in one constructor call —
+        instead of a per-fact relation lookup and ``set`` dispatch.
+        """
         annotated = cls(query, monoid)
-        for fact in facts:
-            annotated.set(fact, annotation_of(fact))
+        annotated.bulk_annotate(facts, annotation_of)
         return annotated
+
+    def bulk_annotate(
+        self,
+        facts: Iterable[Fact],
+        annotation_of: Callable[[Fact], K],
+    ) -> None:
+        """Annotate *facts* in bulk (equivalent to per-fact :meth:`set` calls).
+
+        Groups the facts per relation in one pass, resolves every relation
+        once, then computes ψ for each group via the monoid kernel's
+        :meth:`~repro.core.kernels.MonoidKernel.map_annotations` and hands the
+        aligned batch to :meth:`KRelation.bulk_load`.  Raises
+        :class:`~repro.exceptions.SchemaError` for facts naming a relation
+        the query does not mention, exactly like the per-fact path.
+        """
+        grouped: dict[str, list[Fact]] = {}
+        for fact in facts:
+            bucket = grouped.get(fact.relation)
+            if bucket is None:
+                grouped[fact.relation] = [fact]
+            else:
+                bucket.append(fact)
+        # Resolve every relation before loading anything, so an unknown
+        # relation fails before any partial annotation lands.
+        resolved = [
+            (self.relation(name), bucket) for name, bucket in grouped.items()
+        ]
+        kernel = _kernel_for(self.monoid)
+        for relation, bucket in resolved:
+            annotations = kernel.map_annotations(annotation_of, bucket)
+            relation.bulk_load([fact.values for fact in bucket], annotations)
 
     @classmethod
     def from_database(

@@ -1,0 +1,25 @@
+"""The unified evaluation engine (serving layer over Algorithm 1).
+
+Every workload in this library runs the same three stages — build the
+ψ-annotated database of Definitions 5.10/5.15, compile an elimination order,
+fold with the 2-monoid.  This subsystem owns that wiring once:
+
+* :class:`Engine` holds the *configuration*: the monoid registry, the
+  elimination policy, the kernel mode and the plan-cache limits;
+* :class:`EngineSession` binds one query and one database and answers many
+  evaluation requests (PQE, expected count, Shapley/Banzhaf, resilience,
+  bag-set maximization, grouped evaluation, incremental deltas) against
+  shared state — annotated databases, monoid instances (and thus their
+  kernels' packed big-int caches) and compiled plans are built once per
+  session and reused across requests.
+
+The legacy one-shot entry points (``run_algorithm``,
+``evaluate_hierarchical``, the ``problems.*`` front-ends, the CLI) are thin
+adapters that open a throwaway session per call, so their outputs are
+identical to the session API by construction.
+"""
+
+from repro.engine.engine import DEFAULT_MONOID_FACTORIES, Engine
+from repro.engine.session import EngineSession
+
+__all__ = ["DEFAULT_MONOID_FACTORIES", "Engine", "EngineSession"]

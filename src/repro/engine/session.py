@@ -1,0 +1,494 @@
+"""EngineSession: one query + one database, many evaluation requests.
+
+A session owns the per-workload state the one-shot front-ends used to rebuild
+on every call:
+
+* the ψ-annotated :class:`~repro.db.annotated.KDatabase` of each problem
+  family (built once via the bulk annotation path, then reused);
+* the monoid instances — and therefore their kernels, including the Shapley
+  kernel's packed big-int operand caches, which stay warm across every fold
+  step and every request the session answers;
+* compiled plans (through the process-wide LRU cache, keyed per policy and
+  per support statistics) and grouped (free-variable) plans.
+
+Shapley/Banzhaf values additionally reuse **one** annotated database for all
+``2·|Dn|`` #Sat runs of the Livshits et al. reduction: instead of building
+the forced/removed instances from scratch per fact, the session flips the
+fact's ψ in place (``★ → 1`` / ``★ → 0``), runs, and restores — bit-identical
+to the one-shot reduction because truncated convolutions agree on every entry
+below the truncation length.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Callable, Iterable
+
+from repro.algebra.base import K, TwoMonoid
+from repro.core.algorithm import StepHook, compile_for_database, execute_plan
+from repro.core.grouped import (
+    GroupedPlan,
+    compile_grouped_plan,
+    execute_grouped_plan,
+)
+from repro.core.incremental import IncrementalEvaluator
+from repro.core.plan import plan_cache_info
+from repro.db.annotated import KDatabase, KRelation
+from repro.db.database import Database
+from repro.db.fact import Fact
+from repro.exceptions import ReproError
+from repro.problems.bagset_max import BagSetInstance
+from repro.problems.bagset_max import annotation_psi as _bagset_psi
+from repro.problems.possible_worlds import ProbabilisticDatabase
+from repro.problems.resilience import ResilienceInstance
+from repro.problems.resilience import annotation_psi as _resilience_psi
+from repro.problems.shapley import ShapleyInstance
+from repro.problems.shapley import annotation_psi as _shapley_psi
+from repro.query.atoms import Variable
+from repro.query.bcq import BCQ
+
+
+class EngineSession:
+    """Answers many evaluation requests over one query and one database.
+
+    Open sessions through :meth:`repro.engine.engine.Engine.open`; the engine
+    supplies the policy, kernel mode and monoid registry, the session caches
+    everything data-dependent.  The bound data sources are treated as
+    immutable for the session's lifetime (use :meth:`incremental` for
+    update workloads).
+    """
+
+    def __init__(
+        self,
+        engine,
+        query: BCQ,
+        *,
+        database: Database | None = None,
+        probabilistic: ProbabilisticDatabase | None = None,
+        exogenous: Database | None = None,
+        endogenous: Database | None = None,
+        repair: Database | None = None,
+        annotated: KDatabase | None = None,
+    ):
+        query.require_self_join_free()
+        self.engine = engine
+        self.query = query
+        self._database = database
+        self._probabilistic = probabilistic
+        self._exogenous = exogenous
+        self._endogenous = endogenous
+        self._repair = repair
+        self._raw_annotated = annotated
+        # Reusable state, keyed per problem family / parameters.
+        self._annotated: dict[object, KDatabase] = {}
+        self._monoids: dict[object, TwoMonoid] = {}
+        self._grouped_plans: dict[frozenset[Variable], GroupedPlan] = {}
+        self._sources: dict[bool, ProbabilisticDatabase] = {}
+        self._shapley_instance: ShapleyInstance | None = None
+        self._resilience_instance: ResilienceInstance | None = None
+        # Work counters (observability; see stats()).
+        self._evaluations = 0
+        self._annotation_builds = 0
+
+    # ------------------------------------------------------------------
+    # Shared execution helpers
+    # ------------------------------------------------------------------
+    def _run(self, annotated: KDatabase, on_step: StepHook | None = None):
+        self._evaluations += 1
+        plan = compile_for_database(self.query, annotated, self.engine.policy)
+        return execute_plan(
+            plan,
+            annotated,
+            on_step=on_step,
+            kernel_mode=self.engine.kernel_mode,
+        ).result
+
+    def _annotated_for(
+        self, key: object, build: Callable[[], KDatabase]
+    ) -> KDatabase:
+        annotated = self._annotated.get(key)
+        if annotated is None:
+            annotated = build()
+            self._annotated[key] = annotated
+            self._annotation_builds += 1
+        return annotated
+
+    def _monoid_for(self, key: object, family: str, *args, **kwargs):
+        monoid = self._monoids.get(key)
+        if monoid is None:
+            monoid = self.engine.create_monoid(family, *args, **kwargs)
+            self._monoids[key] = monoid
+        return monoid
+
+    def _require(self, value, what: str, hint: str):
+        if value is None:
+            raise ReproError(
+                f"this session has no {what}; open the session with "
+                f"Engine.open(query, {hint})"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Raw Algorithm 1 (pre-annotated databases)
+    # ------------------------------------------------------------------
+    def run(self, on_step: StepHook | None = None):
+        """Algorithm 1 over the bound pre-annotated database (``annotated=``)."""
+        annotated = self._require(
+            self._raw_annotated, "pre-annotated database", "annotated=…"
+        )
+        return self._run(annotated, on_step=on_step)
+
+    def evaluate(
+        self,
+        monoid: TwoMonoid[K],
+        facts: Iterable[Fact],
+        annotation_of: Callable[[Fact], K],
+        *,
+        cache_key: object = None,
+    ) -> K:
+        """ψ-annotate *facts* in bulk and run Algorithm 1.
+
+        The generic request shape behind ``evaluate_hierarchical``; pass a
+        *cache_key* to keep the built annotated database on the session for
+        reuse by later identical requests.
+        """
+        def build() -> KDatabase:
+            return KDatabase.annotate(self.query, monoid, facts, annotation_of)
+
+        if cache_key is None:
+            annotated = build()
+            self._annotation_builds += 1
+        else:
+            annotated = self._annotated_for(cache_key, build)
+        return self._run(annotated)
+
+    # ------------------------------------------------------------------
+    # PQE / expected answer count (probabilistic databases)
+    # ------------------------------------------------------------------
+    def _probability_source(self, exact: bool) -> ProbabilisticDatabase:
+        source = self._sources.get(exact)
+        if source is None:
+            base = self._require(
+                self._probabilistic, "probabilistic database", "probabilistic=…"
+            )
+            source = base.as_exact() if exact else base
+            self._sources[exact] = source
+        return source
+
+    def pqe(self, exact: bool = False):
+        """Marginal probability of the query (Theorem 5.8)."""
+        source = self._probability_source(exact)
+        monoid = self._monoid_for(
+            ("probability", exact), "probability", exact=exact
+        )
+        annotated = self._annotated_for(
+            ("pqe", exact),
+            lambda: KDatabase.annotate(
+                self.query,
+                monoid,
+                source.facts(),
+                lambda fact: monoid.validate(source.probability(fact)),
+            ),
+        )
+        return self._run(annotated)
+
+    def expected_count(self, exact: bool = False):
+        """``E[Q(D)]`` over the real semiring (linearity of expectation)."""
+        source = self._probability_source(exact)
+        semiring = self._monoid_for(
+            ("expectation", exact), "expectation", exact=exact
+        )
+        annotated = self._annotated_for(
+            ("expected_count", exact),
+            lambda: KDatabase.annotate(
+                self.query,
+                semiring,
+                source.facts(),
+                lambda fact: semiring.validate(source.probability(fact)),
+            ),
+        )
+        return self._run(annotated)
+
+    # ------------------------------------------------------------------
+    # Shapley / Banzhaf (exogenous/endogenous splits)
+    # ------------------------------------------------------------------
+    def shapley_instance(self) -> ShapleyInstance:
+        """The bound Definition 5.12 split (validated against the query)."""
+        if self._shapley_instance is None:
+            endogenous = self._require(
+                self._endogenous, "endogenous database", "endogenous=…"
+            )
+            instance = ShapleyInstance(
+                exogenous=self._exogenous or Database(),
+                endogenous=endogenous,
+            )
+            instance.validate_against(self.query)
+            self._shapley_instance = instance
+        return self._shapley_instance
+
+    def _shapley_state(self):
+        instance = self.shapley_instance()
+        monoid = self._monoid_for(
+            "shapley", "shapley", instance.endogenous_count + 1
+        )
+        psi = _shapley_psi(instance, monoid)
+        facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
+        annotated = self._annotated_for(
+            "shapley",
+            lambda: KDatabase.annotate(self.query, monoid, facts, psi),
+        )
+        return instance, monoid, annotated
+
+    def sat_vector(self):
+        """The full ``#Sat`` vector (Theorem 5.16)."""
+        _instance, _monoid, annotated = self._shapley_state()
+        return self._run(annotated)
+
+    def sat_counts(self) -> tuple[int, ...]:
+        """``#Sat(k)`` for ``k = 0 .. |Dn|``."""
+        return self.sat_vector().true_counts
+
+    def _sat_pair(self, fact: Fact):
+        """``#Sat`` true-slices with *fact* forced in, then removed.
+
+        Flips the fact's ψ on the shared annotated database instead of
+        building the two shifted instances of the reduction from scratch.
+        The session monoid is one entry longer than the shifted instances
+        need (``|Dn|+1`` vs ``|Dn|``); truncated convolutions agree on every
+        common entry, so the counts consumed below are bit-identical.
+        """
+        instance, monoid, annotated = self._shapley_state()
+        if fact not in instance.endogenous:
+            raise ReproError(
+                f"{fact} is not an endogenous fact of the instance"
+            )
+        relation = annotated.relation(fact.relation)
+        original = relation.annotation(fact.values)
+        try:
+            relation.set(fact.values, monoid.one)
+            with_f = self._run(annotated).true_counts
+            relation.set(fact.values, monoid.zero)
+            without_f = self._run(annotated).true_counts
+        finally:
+            relation.set(fact.values, original)
+        return with_f, without_f
+
+    def shapley_value(self, fact: Fact) -> Fraction:
+        """Exact Shapley value of *fact* (the Section 5.6 reduction)."""
+        with_f, without_f = self._sat_pair(fact)
+        n = self.shapley_instance().endogenous_count
+        n_factorial = math.factorial(n)
+        total = Fraction(0)
+        for k in range(n):
+            weight = Fraction(
+                math.factorial(k) * math.factorial(n - k - 1), n_factorial
+            )
+            total += weight * (with_f[k] - without_f[k])
+        return total
+
+    def shapley_values(self) -> dict[Fact, Fraction]:
+        """Shapley values of all endogenous facts over one shared database."""
+        return {
+            fact: self.shapley_value(fact)
+            for fact in self.shapley_instance().endogenous.facts()
+        }
+
+    def banzhaf_value(self, fact: Fact) -> Fraction:
+        """The Banzhaf power index of *fact* (same two #Sat runs)."""
+        with_f, without_f = self._sat_pair(fact)
+        n = self.shapley_instance().endogenous_count
+        flips = sum(with_f[k] - without_f[k] for k in range(n))
+        return Fraction(flips, 2 ** (n - 1)) if n > 0 else Fraction(0)
+
+    def banzhaf_values(self) -> dict[Fact, Fraction]:
+        """Banzhaf indices of all endogenous facts."""
+        return {
+            fact: self.banzhaf_value(fact)
+            for fact in self.shapley_instance().endogenous.facts()
+        }
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+    def resilience_instance(self) -> ResilienceInstance:
+        """The bound deletable/undeletable split.
+
+        Uses the ``exogenous``/``endogenous`` sources when given, otherwise
+        treats the plain ``database`` as fully endogenous (the classical
+        setting).
+        """
+        if self._resilience_instance is None:
+            if self._endogenous is not None:
+                endogenous = self._endogenous
+            else:
+                endogenous = self._require(
+                    self._database,
+                    "database for resilience",
+                    "database=… or endogenous=…",
+                )
+            instance = ResilienceInstance(
+                exogenous=self._exogenous or Database(),
+                endogenous=endogenous,
+            )
+            instance.validate_against(self.query)
+            self._resilience_instance = instance
+        return self._resilience_instance
+
+    def resilience(self):
+        """Minimum endogenous deletions falsifying the query (∞ if none)."""
+        instance = self.resilience_instance()
+        monoid = self._monoid_for("resilience", "resilience")
+        psi = _resilience_psi(instance, monoid)
+        facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
+        annotated = self._annotated_for(
+            "resilience",
+            lambda: KDatabase.annotate(self.query, monoid, facts, psi),
+        )
+        return self._run(annotated)
+
+    # ------------------------------------------------------------------
+    # Bag-set maximization
+    # ------------------------------------------------------------------
+    def bagset_profile(
+        self, budget: int, vector_length: int | None = None
+    ):
+        """The full budget profile of ``(D, Dr, θ=budget)`` (Theorem 5.11).
+
+        Many budgets can be served from one session; the annotated database
+        is cached per vector length (ψ depends only on the truncation).
+        """
+        database = self._require(self._database, "base database", "database=…")
+        repair = self._require(self._repair, "repair database", "repair=…")
+        instance = BagSetInstance(
+            database=database, repair_database=repair, budget=budget
+        )
+        instance.validate_against(self.query)
+        length = max(
+            vector_length if vector_length is not None else budget + 1, 1
+        )
+        monoid = self._monoid_for(("bagset", length), "bagset", length)
+        psi = _bagset_psi(instance, monoid)
+        facts = [*instance.database.facts(), *instance.addable_facts()]
+        annotated = self._annotated_for(
+            ("bagset", length),
+            lambda: KDatabase.annotate(self.query, monoid, facts, psi),
+        )
+        return self._run(annotated)
+
+    def maximize(self, budget: int) -> int:
+        """The Bag-Set Maximization answer ``q(θ)`` at *budget*."""
+        profile = self.bagset_profile(budget)
+        return profile[min(budget, len(profile) - 1)]
+
+    # ------------------------------------------------------------------
+    # Grouped (free-variable) evaluation
+    # ------------------------------------------------------------------
+    def grouped_plan(self, free_variables: Iterable[Variable]) -> GroupedPlan:
+        """The compiled free-variable plan (memoized per free set)."""
+        free = frozenset(free_variables)
+        plan = self._grouped_plans.get(free)
+        if plan is None:
+            plan = compile_grouped_plan(self.query, free)
+            self._grouped_plans[free] = plan
+        return plan
+
+    def grouped(
+        self,
+        free_variables: Iterable[Variable],
+        monoid: TwoMonoid[K],
+        annotation_of: Callable[[Fact], K] | None = None,
+        facts: Iterable[Fact] | None = None,
+    ) -> KRelation[K]:
+        """Per-answer K-annotations over the free variables.
+
+        Defaults to the session's plain database with the ⊗-identity
+        annotation; pass *facts*/*annotation_of* for other carriers.
+        """
+        plan = self.grouped_plan(free_variables)
+        if facts is None:
+            facts = self._require(
+                self._database, "database", "database=…"
+            ).facts()
+        fn = annotation_of or (lambda _fact: monoid.one)
+        annotated = KDatabase.annotate(self.query, monoid, facts, fn)
+        self._annotation_builds += 1
+        return execute_grouped_plan(
+            plan, annotated, kernel_mode=self.engine.kernel_mode
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def incremental(
+        self,
+        monoid: TwoMonoid[K],
+        annotation_of: Callable[[Fact], K] | None = None,
+        facts: Iterable[Fact] | None = None,
+    ) -> IncrementalEvaluator[K]:
+        """An update-maintained evaluator seeded from the session's data.
+
+        The evaluator copies the annotated input, so later updates never
+        disturb the session's cached state.
+        """
+        if facts is None:
+            facts = self._require(
+                self._database, "database", "database=…"
+            ).facts()
+        fn = annotation_of or (lambda _fact: monoid.one)
+        annotated = KDatabase.annotate(self.query, monoid, facts, fn)
+        self._annotation_builds += 1
+        return IncrementalEvaluator(
+            self.query,
+            annotated,
+            policy=self.engine.policy,
+            kernel_mode=self.engine.kernel_mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cached-state sizes and work counters for this session."""
+        info: dict = {
+            "evaluations": self._evaluations,
+            "annotation_builds": self._annotation_builds,
+            "annotated_databases": len(self._annotated)
+            + (1 if self._raw_annotated is not None else 0),
+            "monoids": len(self._monoids),
+            "grouped_plans": len(self._grouped_plans),
+            "plan_cache": plan_cache_info(),
+        }
+        shapley = self._monoids.get("shapley")
+        if shapley is not None:
+            from repro.core.kernels import kernel_for
+
+            kernel = kernel_for(shapley)
+            cache_info = getattr(kernel, "cache_info", None)
+            if cache_info is not None:
+                info["shapley_kernel"] = cache_info()
+        return info
+
+    def clear(self) -> None:
+        """Drop every cached annotated database, monoid and grouped plan."""
+        self._annotated.clear()
+        self._monoids.clear()
+        self._grouped_plans.clear()
+        self._sources.clear()
+        self._shapley_instance = None
+        self._resilience_instance = None
+
+    def __repr__(self) -> str:
+        bound = [
+            name
+            for name, value in (
+                ("database", self._database),
+                ("probabilistic", self._probabilistic),
+                ("exogenous", self._exogenous),
+                ("endogenous", self._endogenous),
+                ("repair", self._repair),
+                ("annotated", self._raw_annotated),
+            )
+            if value is not None
+        ]
+        return f"EngineSession({self.query}, bound={bound})"

@@ -23,7 +23,6 @@ from itertools import combinations
 
 from repro.algebra.bagset import BagSetMonoid, BagSetVector
 from repro.algebra.provenance import evaluate_tree
-from repro.core.algorithm import evaluate_hierarchical
 from repro.core.lineage import read_once_lineage
 from repro.db.database import Database
 from repro.db.evaluation import count_satisfying_assignments
@@ -99,14 +98,14 @@ def maximize_profile(
         ``"auto"`` for batched kernels, ``"scalar"`` for the per-tuple
         baseline (benchmarking).
     """
-    instance.validate_against(query)
-    length = (vector_length if vector_length is not None else instance.budget + 1)
-    monoid = BagSetMonoid(max(length, 1))
-    psi = annotation_psi(instance, monoid)
-    facts = [*instance.database.facts(), *instance.addable_facts()]
-    return evaluate_hierarchical(
-        query, monoid, facts, psi, policy=policy, kernel_mode=kernel_mode
+    from repro.engine import Engine
+
+    session = Engine(policy=policy, kernel_mode=kernel_mode).open(
+        query,
+        database=instance.database,
+        repair=instance.repair_database,
     )
+    return session.bagset_profile(instance.budget, vector_length=vector_length)
 
 
 def maximize(query: BCQ, instance: BagSetInstance) -> int:

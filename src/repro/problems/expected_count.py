@@ -18,8 +18,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from repro.algebra.real import Real, RealSemiring
-from repro.core.algorithm import evaluate_hierarchical
+from repro.algebra.real import Real
 from repro.db.evaluation import count_satisfying_assignments, satisfying_assignments
 from repro.problems.possible_worlds import ProbabilisticDatabase
 from repro.query.bcq import BCQ
@@ -29,14 +28,10 @@ def expected_answer_count(
     query: BCQ, database: ProbabilisticDatabase, exact: bool = False
 ) -> Real:
     """``E[Q(D)]`` via Algorithm 1 over the real semiring (hierarchical Q)."""
-    source = database.as_exact() if exact else database
-    semiring = RealSemiring(exact=exact)
-    return evaluate_hierarchical(
-        query,
-        semiring,
-        source.facts(),
-        lambda fact: semiring.validate(source.probability(fact)),
-    )
+    from repro.engine import Engine
+
+    session = Engine().open(query, probabilistic=database)
+    return session.expected_count(exact=exact)
 
 
 def expected_answer_count_direct(

@@ -24,7 +24,6 @@ from repro.algebra.probability import (
     ProbabilityMonoid,
 )
 from repro.algebra.provenance import evaluate_tree
-from repro.core.algorithm import evaluate_hierarchical
 from repro.core.lineage import read_once_lineage
 from repro.db.evaluation import evaluates_true
 from repro.problems.possible_worlds import ProbabilisticDatabase
@@ -60,16 +59,12 @@ def marginal_probability(
         ``"auto"`` for batched kernels, ``"scalar"`` for the per-tuple
         baseline (benchmarking).
     """
-    source = database.as_exact() if exact else database
-    monoid = _monoid_for(exact)
-    return evaluate_hierarchical(
-        query,
-        monoid,
-        source.facts(),
-        lambda fact: monoid.validate(source.probability(fact)),
-        policy=policy,
-        kernel_mode=kernel_mode,
+    from repro.engine import Engine
+
+    session = Engine(policy=policy, kernel_mode=kernel_mode).open(
+        query, probabilistic=database
     )
+    return session.pqe(exact=exact)
 
 
 def marginal_probability_brute_force(

@@ -28,7 +28,6 @@ from itertools import combinations
 
 from repro.algebra.provenance import evaluate_tree
 from repro.algebra.resilience import Cost, ResilienceMonoid
-from repro.core.algorithm import evaluate_hierarchical
 from repro.core.lineage import read_once_lineage
 from repro.db.database import Database
 from repro.db.evaluation import evaluates_true
@@ -88,11 +87,12 @@ def resilience(query: BCQ, instance: ResilienceInstance) -> Cost:
     be falsified by deleting endogenous facts, and the minimum deletion count
     otherwise.  Hierarchical queries only.
     """
-    instance.validate_against(query)
-    monoid = ResilienceMonoid()
-    psi = annotation_psi(instance, monoid)
-    facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
-    return evaluate_hierarchical(query, monoid, facts, psi)
+    from repro.engine import Engine
+
+    session = Engine().open(
+        query, exogenous=instance.exogenous, endogenous=instance.endogenous
+    )
+    return session.resilience()
 
 
 def resilience_of_database(query: BCQ, database: Database) -> Cost:

@@ -29,13 +29,13 @@ from itertools import combinations, permutations
 
 from repro.algebra.provenance import evaluate_tree
 from repro.algebra.shapley import SatVector, ShapleyMonoid
-from repro.core.algorithm import evaluate_hierarchical
 from repro.core.lineage import read_once_lineage
 from repro.db.database import Database
 from repro.db.evaluation import evaluates_true
 from repro.db.fact import Fact
 from repro.exceptions import ReproError
 from repro.query.bcq import BCQ
+from repro.query.elimination import Policy
 
 
 @dataclass(frozen=True)
@@ -95,12 +95,23 @@ def sat_vector(
     convolutions (the benchmark baseline).  Both produce bit-identical
     exact integer vectors.
     """
-    instance.validate_against(query)
-    monoid = ShapleyMonoid(instance.endogenous_count + 1)
-    psi = annotation_psi(instance, monoid)
-    facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
-    return evaluate_hierarchical(
-        query, monoid, facts, psi, policy=policy, kernel_mode=kernel_mode
+    return _session(
+        query, instance, policy=policy, kernel_mode=kernel_mode
+    ).sat_vector()
+
+
+def _session(
+    query: BCQ,
+    instance: ShapleyInstance,
+    *,
+    policy: Policy | str = "rule1_first",
+    kernel_mode: str = "auto",
+):
+    """A throwaway engine session bound to *instance*'s split."""
+    from repro.engine import Engine
+
+    return Engine(policy=policy, kernel_mode=kernel_mode).open(
+        query, exogenous=instance.exogenous, endogenous=instance.endogenous
     )
 
 
@@ -164,19 +175,6 @@ def sat_counts_brute_force(
 # ----------------------------------------------------------------------
 # From #Sat to Shapley values (the Livshits et al. reduction, Section 5.6)
 # ----------------------------------------------------------------------
-def _shifted_instance(instance: ShapleyInstance, fact: Fact) -> tuple[ShapleyInstance, ShapleyInstance]:
-    """The two instances of the reduction: f forced in, and f removed."""
-    if fact not in instance.endogenous:
-        raise ReproError(f"{fact} is not an endogenous fact of the instance")
-    without_f = instance.endogenous.without_facts([fact])
-    forced = ShapleyInstance(
-        exogenous=instance.exogenous.with_facts([fact]),
-        endogenous=without_f,
-    )
-    removed = ShapleyInstance(exogenous=instance.exogenous, endogenous=without_f)
-    return forced, removed
-
-
 def shapley_value(
     query: BCQ,
     instance: ShapleyInstance,
@@ -191,20 +189,11 @@ def shapley_value(
         Shapley(f) = Σ_k  k!·(n−k−1)!/n! · (#Sat_{Dx∪{f}, Dn∖{f}}(k)
                                             − #Sat_{Dx, Dn∖{f}}(k))
 
-    with ``n = |Dn|``, using the unified algorithm for both counts.
+    with ``n = |Dn|``, using the unified algorithm for both counts.  The two
+    counts run on one shared ψ-annotated database through an engine session
+    (the fact's ψ is flipped in place), with identical outputs.
     """
-    forced, removed = _shifted_instance(instance, fact)
-    with_f = sat_counts(query, forced, policy=policy)
-    without_f = sat_counts(query, removed, policy=policy)
-    n = instance.endogenous_count
-    total = Fraction(0)
-    n_factorial = math.factorial(n)
-    for k in range(n):
-        weight = Fraction(
-            math.factorial(k) * math.factorial(n - k - 1), n_factorial
-        )
-        total += weight * (with_f[k] - without_f[k])
-    return total
+    return _session(query, instance, policy=policy).shapley_value(fact)
 
 
 def shapley_values(
@@ -213,11 +202,12 @@ def shapley_values(
     *,
     policy: str = "rule1_first",
 ) -> dict[Fact, Fraction]:
-    """Shapley values of *all* endogenous facts."""
-    return {
-        fact: shapley_value(query, instance, fact, policy=policy)
-        for fact in instance.endogenous.facts()
-    }
+    """Shapley values of *all* endogenous facts.
+
+    One engine session serves all ``2·|Dn|`` #Sat runs from a single
+    annotated database with warm packed-operand caches.
+    """
+    return _session(query, instance, policy=policy).shapley_values()
 
 
 def shapley_value_by_permutations(
@@ -283,12 +273,7 @@ def banzhaf_value(
     falls out of the same two ``#Sat`` vectors the Shapley reduction uses —
     the unifying algorithm pays nothing extra for it.
     """
-    forced, removed = _shifted_instance(instance, fact)
-    with_f = sat_counts(query, forced, policy=policy)
-    without_f = sat_counts(query, removed, policy=policy)
-    n = instance.endogenous_count
-    flips = sum(with_f[k] - without_f[k] for k in range(n))
-    return Fraction(flips, 2 ** (n - 1)) if n > 0 else Fraction(0)
+    return _session(query, instance, policy=policy).banzhaf_value(fact)
 
 
 def banzhaf_value_brute_force(

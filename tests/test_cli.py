@@ -156,3 +156,33 @@ class TestProbabilisticIO:
             probabilistic_from_dict({})
         with pytest.raises(SchemaError):
             probabilistic_from_dict({"facts": [{"relation": "R"}]})
+
+
+class TestCacheCommand:
+    def test_reports_plan_cache_counters(self, capsys):
+        from repro.core.plan import clear_plan_cache, compile_plan
+        from repro.query.parser import parse_query
+
+        clear_plan_cache()
+        query = parse_query("Q() :- R(X), S(X,Y)")
+        compile_plan(query)
+        compile_plan(query)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "size: 1" in out
+        assert "hits: 1" in out
+        assert "misses: 1" in out
+        assert "hit_rate: 50.0%" in out
+
+    def test_clear_drops_memoized_plans(self, capsys):
+        from repro.core.plan import compile_plan, plan_cache_info
+        from repro.query.parser import parse_query
+
+        compile_plan(parse_query("Q() :- R(X)"))
+        assert plan_cache_info()["size"] >= 1
+        assert main(["cache", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache cleared" in out
+        assert plan_cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "max_size": 256,
+        }
