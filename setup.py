@@ -10,4 +10,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    extras_require={
+        # Optional columnar (numpy) execution tier for flat-carrier
+        # monoids; the engine falls back to the pure-Python batched
+        # kernels when numpy is absent.
+        "fast": ["numpy>=1.22"],
+    },
 )

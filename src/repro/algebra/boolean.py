@@ -8,7 +8,12 @@ the backtracking evaluator.
 from __future__ import annotations
 
 from repro.algebra.base import CommutativeSemiring
-from repro.core.kernels import MonoidKernel, register_kernel
+from repro.core.kernels import (
+    ArrayKernel,
+    MonoidKernel,
+    register_array_kernel,
+    register_kernel,
+)
 
 
 class BooleanSemiring(CommutativeSemiring[bool]):
@@ -42,3 +47,23 @@ class BooleanKernel(MonoidKernel[bool]):
 
 
 register_kernel(BooleanSemiring, BooleanKernel)
+
+
+class BooleanArrayKernel(ArrayKernel):
+    """Columnar ``(∨, ∧)`` over bool columns — bit-identical to scalar."""
+
+    def __init__(self, monoid, np):
+        super().__init__(monoid, np)
+        self.dtype = np.bool_
+
+    def fold_groups(self, annotations, starts):
+        return self.np.logical_or.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return self.np.logical_and(lefts, rights)
+
+    def zero_mask(self, column):
+        return self.np.logical_not(column)
+
+
+register_array_kernel(BooleanSemiring, BooleanArrayKernel)

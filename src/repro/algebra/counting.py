@@ -11,7 +11,13 @@ with the backtracking evaluator of :mod:`repro.db.evaluation`.
 from __future__ import annotations
 
 from repro.algebra.base import CommutativeSemiring
-from repro.core.kernels import MonoidKernel, register_kernel
+from repro.core.kernels import (
+    ArrayKernel,
+    ExactObjectArrayKernel,
+    MonoidKernel,
+    register_array_kernel,
+    register_kernel,
+)
 from repro.exceptions import AlgebraError
 
 
@@ -56,3 +62,37 @@ class SumProductKernel(MonoidKernel):
 
 
 register_kernel(CountingSemiring, SumProductKernel)
+
+
+class SumProductArrayKernel(ArrayKernel):
+    """Columnar float ``(+, ×)``: ⊕-folds via ``add.reduceat``, ⊗ elementwise
+    (the real semiring; results agree with scalar up to re-association)."""
+
+    def __init__(self, monoid, np, dtype):
+        super().__init__(monoid, np)
+        self.dtype = dtype
+
+    def fold_groups(self, annotations, starts):
+        return self.np.add.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return lefts * rights
+
+
+class CountingArrayKernel(ExactObjectArrayKernel):
+    """Columnar ``(+, ×)`` over exact Python ints (object columns).
+
+    Counting values — model counts, bag-set cardinalities — routinely
+    exceed int64, and numpy int64 arithmetic wraps silently, so this kernel
+    keeps the annotations as Python ints: bit-identical to the scalar tier
+    at every magnitude.
+    """
+
+    def fold_groups(self, annotations, starts):
+        return self.np.add.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return lefts * rights
+
+
+register_array_kernel(CountingSemiring, CountingArrayKernel)

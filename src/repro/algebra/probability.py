@@ -18,7 +18,12 @@ from fractions import Fraction
 from numbers import Rational
 
 from repro.algebra.base import TwoMonoid
-from repro.core.kernels import MonoidKernel, register_kernel
+from repro.core.kernels import (
+    ArrayKernel,
+    MonoidKernel,
+    register_array_kernel,
+    register_kernel,
+)
 from repro.exceptions import AlgebraError
 
 Probability = float | Fraction
@@ -120,3 +125,38 @@ class ProbabilityKernel(MonoidKernel[Probability]):
 
 
 register_kernel(ProbabilityMonoid, ProbabilityKernel)
+
+
+class ProbabilityArrayKernel(ArrayKernel):
+    """Columnar probabilities: ⊕-folds as ``1 − Π(1−pᵢ)`` per segment.
+
+    ``multiply.reduceat`` over the complement column runs every group
+    product in C; segment order is the columnar key sort, so float results
+    agree with the scalar fold up to re-association (inside the monoid's
+    equality tolerance, like the batched kernel).  The ⊕-identity mask
+    mirrors the scalar tolerance test ``|p| ≤ tol``.
+    """
+
+    def __init__(self, monoid, np):
+        super().__init__(monoid, np)
+        self.dtype = np.float64
+
+    def fold_groups(self, annotations, starts):
+        return 1.0 - self.np.multiply.reduceat(1.0 - annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return lefts * rights
+
+    def zero_mask(self, column):
+        return self.np.absolute(column) <= self.monoid._tolerance
+
+
+def _probability_array_kernel(monoid, np):
+    # The exact-rational subclass inherits add/mul but carries Fractions —
+    # not a flat float column; it stays on the batched kernel.
+    if not isinstance(monoid.zero, float):
+        return None
+    return ProbabilityArrayKernel(monoid, np)
+
+
+register_array_kernel(ProbabilityMonoid, _probability_array_kernel)

@@ -19,8 +19,8 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.algebra.base import CommutativeSemiring
-from repro.algebra.counting import SumProductKernel
-from repro.core.kernels import register_kernel
+from repro.algebra.counting import SumProductArrayKernel, SumProductKernel
+from repro.core.kernels import register_array_kernel, register_kernel
 from repro.exceptions import AlgebraError
 
 Real = float | Fraction
@@ -56,3 +56,13 @@ class RealSemiring(CommutativeSemiring[Real]):
 
 # Same carrier shape as the counting semiring: batched sum/product.
 register_kernel(RealSemiring, SumProductKernel)
+
+
+def _real_array_kernel(monoid, np):
+    # Exact-rational instances carry Fractions — no flat float column.
+    if not isinstance(monoid.zero, float):
+        return None
+    return SumProductArrayKernel(monoid, np, np.float64)
+
+
+register_array_kernel(RealSemiring, _real_array_kernel)

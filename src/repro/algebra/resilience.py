@@ -32,7 +32,12 @@ from __future__ import annotations
 import math
 
 from repro.algebra.base import TwoMonoid
-from repro.core.kernels import MonoidKernel, register_kernel
+from repro.core.kernels import (
+    ArrayKernel,
+    MonoidKernel,
+    register_array_kernel,
+    register_kernel,
+)
 from repro.exceptions import AlgebraError
 
 Cost = float
@@ -91,3 +96,26 @@ class ResilienceKernel(MonoidKernel[Cost]):
 
 
 register_kernel(ResilienceMonoid, ResilienceKernel)
+
+
+class ResilienceArrayKernel(ArrayKernel):
+    """Columnar ``(+, min)`` over float columns.
+
+    Costs are naturals (exactly representable as float64) extended with
+    ``∞``, so ``add.reduceat`` sums are order-independent and the tier is
+    value-identical to scalar until costs exceed 2⁵³ — far beyond any
+    support size the engine can hold.
+    """
+
+    def __init__(self, monoid, np):
+        super().__init__(monoid, np)
+        self.dtype = np.float64
+
+    def fold_groups(self, annotations, starts):
+        return self.np.add.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return self.np.minimum(lefts, rights)
+
+
+register_array_kernel(ResilienceMonoid, ResilienceArrayKernel)

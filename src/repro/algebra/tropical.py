@@ -13,7 +13,13 @@ from __future__ import annotations
 import math
 
 from repro.algebra.base import CommutativeSemiring
-from repro.core.kernels import MonoidKernel, register_kernel
+from repro.core.kernels import (
+    ArrayKernel,
+    ExactObjectArrayKernel,
+    MonoidKernel,
+    register_array_kernel,
+    register_kernel,
+)
 
 Extended = float
 """Naturals extended with ``math.inf``."""
@@ -112,3 +118,54 @@ class MaxPlusKernel(MonoidKernel[Extended]):
 register_kernel(MinPlusSemiring, MinPlusKernel)
 register_kernel(MaxTimesSemiring, MaxTimesKernel)
 register_kernel(MaxPlusSemiring, MaxPlusKernel)
+
+
+class MinPlusArrayKernel(ArrayKernel):
+    """Columnar ``(min, +)`` over float columns (``∞`` is the ⊕-identity)."""
+
+    def __init__(self, monoid, np):
+        super().__init__(monoid, np)
+        self.dtype = np.float64
+
+    def fold_groups(self, annotations, starts):
+        return self.np.minimum.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return lefts + rights
+
+    def zero_mask(self, column):
+        return self.np.isposinf(column)
+
+
+class MaxTimesArrayKernel(ExactObjectArrayKernel):
+    """Columnar ``(max, ×)`` over exact Python ints (object columns —
+    products exceed any fixed-width dtype, and int64 would wrap silently;
+    bit-identical to scalar at every magnitude)."""
+
+    def fold_groups(self, annotations, starts):
+        return self.np.maximum.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return lefts * rights
+
+
+class MaxPlusArrayKernel(ArrayKernel):
+    """Columnar ``(max, +)`` over float columns (``−∞`` is the ⊕-identity)."""
+
+    def __init__(self, monoid, np):
+        super().__init__(monoid, np)
+        self.dtype = np.float64
+
+    def fold_groups(self, annotations, starts):
+        return self.np.maximum.reduceat(annotations, starts)
+
+    def mul_arrays(self, lefts, rights):
+        return lefts + rights
+
+    def zero_mask(self, column):
+        return self.np.isneginf(column)
+
+
+register_array_kernel(MinPlusSemiring, MinPlusArrayKernel)
+register_array_kernel(MaxTimesSemiring, MaxTimesArrayKernel)
+register_array_kernel(MaxPlusSemiring, MaxPlusArrayKernel)

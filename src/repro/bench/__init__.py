@@ -5,6 +5,7 @@ from repro.bench.experiments import ALL_EXPERIMENTS, figure1_instance, run_all
 from repro.bench.harness import doubling_ratios, loglog_slope, time_callable
 from repro.bench.perf import (
     PERF_EXPERIMENTS,
+    compare_perf_documents,
     render_perf_summary,
     run_perf_suite,
     write_perf_json,
@@ -15,6 +16,7 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
     "PERF_EXPERIMENTS",
+    "compare_perf_documents",
     "doubling_ratios",
     "figure1_instance",
     "format_table",

@@ -2,11 +2,16 @@
 
 Two kinds of measurements:
 
-* **scalar vs kernel** — reruns the hot workloads of three scaling
-  experiments (E2 PQE, E4 bag-set maximization, E6 Shapley ``#Sat``) twice
-  per configuration: once through the batched kernel engine
-  (``kernel_mode="auto"``) and once through the per-tuple scalar baseline
-  (``kernel_mode="scalar"``), asserting answer agreement;
+* **scalar vs kernel vs array** — reruns the hot workloads of four scaling
+  experiments (E2 PQE, E4 bag-set maximization, E6 Shapley ``#Sat``, and
+  the ``res`` resilience stream) once per execution tier and configuration:
+  the per-tuple scalar baseline (``kernel_mode="scalar"``), the batched
+  kernel engine (``kernel_mode="batched"``), and — for flat-carrier monoids
+  with numpy installed — the columnar array tier (``kernel_mode="array"``),
+  asserting answer agreement across all tiers.  Array timings run against
+  the cached columnar views (the session serving story): the dict → column
+  materialization is paid on the first run and amortized thereafter, which
+  best-of-N timing reflects.
 * **amortized session throughput** (the ``engine`` scenario) — replays a
   mixed request stream (PQE + Shapley ``#Sat`` + resilience, several rounds)
   over **one** database, once through the one-shot front-ends (fresh
@@ -16,10 +21,11 @@ Two kinds of measurements:
   It also times the bulk ψ-annotation build against the per-fact ``set``
   loop on the E6 largest configuration.
 
-``repro bench --json BENCH_perf.json`` regenerates the artifact; future PRs
-compare against it to keep the perf trajectory monotone.  The ``quick`` mode
-shrinks every sweep to sub-second sizes; the tier-1 smoke test uses it to
-assert agreement without timing anything.
+``repro bench --json BENCH_perf.json`` regenerates the artifact, and
+``repro bench --compare OLD.json NEW.json`` diffs two artifacts so the perf
+trajectory stays reviewable across PRs.  The ``quick`` mode shrinks every
+sweep to sub-second sizes; the tier-1 smoke test uses it to assert
+agreement without timing anything.
 """
 
 from __future__ import annotations
@@ -33,13 +39,17 @@ from typing import Callable
 
 from repro.algebra.bagset import BagSetMonoid
 from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.resilience import ResilienceMonoid
 from repro.algebra.shapley import ShapleyMonoid
 from repro.bench.harness import time_callable
 from repro.core.algorithm import execute_plan
+from repro.core.kernels import array_kernel_for, numpy_or_none
 from repro.core.plan import compile_plan
 from repro.db.annotated import KDatabase
 from repro.db.database import Database
 from repro.problems.bagset_max import annotation_psi as bagset_psi
+from repro.problems.resilience import ResilienceInstance
+from repro.problems.resilience import annotation_psi as resilience_psi
 from repro.problems.shapley import ShapleyInstance
 from repro.problems.shapley import annotation_psi as shapley_psi
 from repro.query.families import q_eq1, star_query
@@ -48,18 +58,41 @@ from repro.workloads.generators import (
     random_probabilistic_database,
 )
 
-#: Format version of the BENCH_perf.json document.
-SCHEMA_VERSION = 2
+#: Format version of the BENCH_perf.json document.  v3 added the ``tiers``
+#: and ``environment`` fields plus per-run ``array_s``/``array_vs_kernel``.
+SCHEMA_VERSION = 3
+
+
+def environment_metadata() -> dict:
+    """Interpreter/platform/numpy metadata recorded in the document."""
+    np = numpy_or_none()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": "absent" if np is None else np.__version__,
+    }
+
+
+def available_tiers() -> list[str]:
+    """The execution tiers this process can run (array needs numpy)."""
+    tiers = ["scalar", "batched"]
+    if numpy_or_none() is not None:
+        tiers.append("array")
+    return tiers
 
 
 def _measure_plan(
     query, annotated: KDatabase, repeats: int
-) -> tuple[dict, object, object]:
-    """Time one compiled plan over *annotated*: scalar engine vs kernels.
+) -> tuple[dict, dict]:
+    """Time one compiled plan over *annotated* on every available tier.
 
     The annotated database is built once and the plan compiled once, so the
-    two timings isolate the engine (Algorithm 1's ⊕-projections and
-    ⊗-merges) — the component the kernel subsystem replaces.
+    timings isolate the engine (Algorithm 1's ⊕-projections and ⊗-merges).
+    Returns the timing record and a ``tier → result`` mapping for the
+    caller's agreement check; the ``array`` entry is present only when the
+    monoid has an array kernel and numpy is importable.
     """
     plan = compile_plan(query)
     scalar_time, scalar_report = time_callable(
@@ -67,7 +100,7 @@ def _measure_plan(
         repeats=repeats,
     )
     kernel_time, kernel_report = time_callable(
-        lambda: execute_plan(plan, annotated, kernel_mode="auto"),
+        lambda: execute_plan(plan, annotated, kernel_mode="batched"),
         repeats=repeats,
     )
     record = {
@@ -75,12 +108,30 @@ def _measure_plan(
         "kernel_s": kernel_time,
         "speedup": scalar_time / max(kernel_time, 1e-12),
     }
-    return record, scalar_report.result, kernel_report.result
+    results = {
+        "scalar": scalar_report.result,
+        "kernel": kernel_report.result,
+    }
+    if array_kernel_for(annotated.monoid) is not None:
+        array_time, array_report = time_callable(
+            lambda: execute_plan(plan, annotated, kernel_mode="array"),
+            repeats=repeats,
+        )
+        record["array_s"] = array_time
+        record["array_speedup"] = scalar_time / max(array_time, 1e-12)
+        record["array_vs_kernel"] = kernel_time / max(array_time, 1e-12)
+        results["array"] = array_report.result
+    return record, results
 
 
 def perf_e2_pqe(quick: bool = False, repeats: int = 3) -> dict:
-    """E2: PQE on the Eq. (1) query — float probabilities, tolerance check."""
-    sizes = (300, 900) if quick else (500, 1000, 2000, 4000, 8000)
+    """E2: PQE on the Eq. (1) query — float probabilities, tolerance check.
+
+    The sweep extends to |D| ≈ 32000, where the columnar tier's advantage
+    over the batched kernels (C-level grouping and alignment vs per-tuple
+    dict work) is clearly visible.
+    """
+    sizes = (300, 900) if quick else (500, 1000, 2000, 4000, 8000, 16000, 32000)
     repeats = 1 if quick else repeats
     query = q_eq1()
     runs = []
@@ -93,9 +144,11 @@ def perf_e2_pqe(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, ProbabilityMonoid(), database.facts(), database.probability
         )
-        record, scalar, kernel = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats)
         record["params"] = {"|D|": len(database)}
-        record["abs_delta"] = abs(scalar - kernel)
+        record["abs_delta"] = max(
+            abs(results["scalar"] - value) for value in results.values()
+        )
         agree = agree and record["abs_delta"] <= 1e-9
         runs.append(record)
     return {
@@ -124,13 +177,15 @@ def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, monoid, facts, bagset_psi(instance, monoid)
         )
-        record, scalar, kernel = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats)
         record["params"] = {
             "|D|": len(instance.database),
             "|Dr|": len(instance.repair_database),
             "θ": instance.budget,
         }
-        record["identical"] = scalar == kernel
+        record["identical"] = all(
+            value == results["scalar"] for value in results.values()
+        )
         agree = agree and record["identical"]
         runs.append(record)
     return {
@@ -159,16 +214,59 @@ def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, monoid, facts, shapley_psi(instance, monoid)
         )
-        record, scalar, kernel = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats)
         record["params"] = {
             "|Dx|": len(instance.exogenous),
             "|Dn|": instance.endogenous_count,
         }
-        record["identical"] = scalar == kernel
+        record["identical"] = all(
+            value == results["scalar"] for value in results.values()
+        )
         agree = agree and record["identical"]
         runs.append(record)
     return {
         "title": "Shapley #Sat vector (Theorem 5.16) on a 2-branch star",
+        "agreement": "bit-identical" if agree else "DISAGREEMENT",
+        "agree": agree,
+        "runs": runs,
+    }
+
+
+def perf_resilience(quick: bool = False, repeats: int = 3) -> dict:
+    """``res``: the resilience stream — flat ``(+, min)`` float costs.
+
+    Classical resilience (every fact endogenous, unit deletion costs) on a
+    2-branch star over growing databases.  Costs are integer-valued floats,
+    so ``add.reduceat`` sums are order-independent and all three tiers must
+    agree bit-identically.
+    """
+    sizes = (300,) if quick else (2000, 8000, 32000)
+    repeats = 1 if quick else repeats
+    query = star_query(2)
+    monoid = ResilienceMonoid()
+    runs = []
+    agree = True
+    for size in sizes:
+        database = random_probabilistic_database(
+            query, facts_per_relation=size // 3,
+            domain_size=max(4, size // 6), seed=size,
+        ).support_database()
+        instance = ResilienceInstance(
+            exogenous=Database(), endogenous=database
+        )
+        psi = resilience_psi(instance, monoid)
+        annotated = KDatabase.annotate(
+            query, monoid, database.facts(), psi
+        )
+        record, results = _measure_plan(query, annotated, repeats)
+        record["params"] = {"|D|": len(database)}
+        record["identical"] = all(
+            value == results["scalar"] for value in results.values()
+        )
+        agree = agree and record["identical"]
+        runs.append(record)
+    return {
+        "title": "Resilience stream (Question 2): unit-cost (+, min) on a 2-branch star",
         "agreement": "bit-identical" if agree else "DISAGREEMENT",
         "agree": agree,
         "runs": runs,
@@ -305,14 +403,36 @@ PERF_EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "E2": perf_e2_pqe,
     "E4": perf_e4_bsm,
     "E6": perf_e6_shapley,
+    "res": perf_resilience,
     "engine": perf_engine,
 }
+
+
+def _summarize(experiment: dict) -> dict:
+    """The per-experiment summary entry, derived from its executed runs."""
+    runs = experiment["runs"]
+    summary = {
+        "max_speedup": max(run["speedup"] for run in runs),
+        "largest_config_speedup": runs[-1]["speedup"],
+        "agree": experiment["agree"],
+    }
+    if "array_s" in runs[-1]:
+        summary["largest_config_array_speedup"] = runs[-1]["array_speedup"]
+        summary["largest_config_array_vs_kernel"] = runs[-1][
+            "array_vs_kernel"
+        ]
+    return summary
 
 
 def run_perf_suite(
     ids: list[str] | None = None, quick: bool = False, repeats: int = 3
 ) -> dict:
-    """Run the requested perf experiments and return the JSON document."""
+    """Run the requested perf experiments and return the JSON document.
+
+    ``experiments`` and ``summary`` contain exactly the experiments that
+    actually executed — a single-experiment run (``repro bench E6``) must
+    not claim results for the rest of the suite.
+    """
     requested = ids or list(PERF_EXPERIMENTS)
     unknown = [name for name in requested if name not in PERF_EXPERIMENTS]
     if unknown:
@@ -328,15 +448,12 @@ def run_perf_suite(
         "schema_version": SCHEMA_VERSION,
         "generated_unix": time.time(),
         "python": platform.python_version(),
+        "environment": environment_metadata(),
+        "tiers": available_tiers(),
         "quick": quick,
         "experiments": experiments,
         "summary": {
-            name: {
-                "max_speedup": max(r["speedup"] for r in exp["runs"]),
-                "largest_config_speedup": exp["runs"][-1]["speedup"],
-                "agree": exp["agree"],
-            }
-            for name, exp in experiments.items()
+            name: _summarize(exp) for name, exp in experiments.items()
         },
     }
 
@@ -352,7 +469,7 @@ def write_perf_json(document: dict, path: str | Path) -> Path:
 
 
 def _render_run(run: dict) -> str:
-    """One timing line: every ``*_s`` entry plus the speedup."""
+    """One timing line: every ``*_s`` entry plus the speedups."""
     params = ", ".join(
         f"{key}={value}" for key, value in run["params"].items()
     )
@@ -361,12 +478,20 @@ def _render_run(run: dict) -> str:
         for key, value in run.items()
         if key.endswith("_s")
     )
-    return f"  {params:<28} {timings}  speedup {run['speedup']:.1f}x"
+    line = f"  {params:<28} {timings}  speedup {run['speedup']:.1f}x"
+    if "array_vs_kernel" in run:
+        line += (
+            f"  array {run['array_speedup']:.1f}x"
+            f" ({run['array_vs_kernel']:.1f}x vs kernel)"
+        )
+    return line
 
 
 def render_perf_summary(document: dict) -> str:
     """Human-readable digest of a perf document for the CLI."""
-    lines = []
+    lines = [
+        "tiers: " + ", ".join(document.get("tiers", [])),
+    ]
     for name, experiment in document["experiments"].items():
         lines.append(f"== {name}: {experiment['title']} ==")
         for run in experiment["runs"]:
@@ -376,4 +501,60 @@ def render_perf_summary(document: dict) -> str:
             lines.append("  -- bulk vs per-fact ψ-annotation (E6 largest) --")
             lines.append(_render_run(annotation))
         lines.append(f"  agreement: {experiment['agreement']}")
+    return "\n".join(lines)
+
+
+_COMPARED_TIMINGS = ("scalar_s", "kernel_s", "array_s", "oneshot_s", "session_s")
+
+
+def compare_perf_documents(old: dict, new: dict) -> str:
+    """Per-experiment speedup deltas between two BENCH_perf.json documents.
+
+    For every experiment present in both documents, compares the
+    largest-configuration run: each shared timing column as
+    ``old → new (ratio×)`` plus the headline speedup delta.  Experiments
+    present on one side only are listed as added/removed, so a diff between
+    PRs never silently drops a workload.
+    """
+    lines = [
+        "perf comparison (largest configuration per experiment):",
+        f"  old: schema v{old.get('schema_version')}, "
+        f"numpy {old.get('environment', {}).get('numpy', 'unknown')}",
+        f"  new: schema v{new.get('schema_version')}, "
+        f"numpy {new.get('environment', {}).get('numpy', 'unknown')}",
+    ]
+    old_experiments = old.get("experiments", {})
+    new_experiments = new.get("experiments", {})
+    for name in sorted(set(old_experiments) | set(new_experiments)):
+        if name not in old_experiments:
+            lines.append(f"== {name}: only in NEW ==")
+            continue
+        if name not in new_experiments:
+            lines.append(f"== {name}: only in OLD ==")
+            continue
+        old_run = old_experiments[name]["runs"][-1]
+        new_run = new_experiments[name]["runs"][-1]
+        lines.append(f"== {name} ==")
+        if old_run.get("params") != new_run.get("params"):
+            lines.append(
+                f"  params changed: {old_run.get('params')} → "
+                f"{new_run.get('params')} (ratios not like-for-like)"
+            )
+        for key in _COMPARED_TIMINGS:
+            if key in old_run and key in new_run:
+                ratio = old_run[key] / max(new_run[key], 1e-12)
+                lines.append(
+                    f"  {key[:-2]:<10} {old_run[key]:.4f}s → "
+                    f"{new_run[key]:.4f}s  ({ratio:.2f}x)"
+                )
+            elif key in new_run:
+                lines.append(
+                    f"  {key[:-2]:<10} (new tier) → {new_run[key]:.4f}s"
+                )
+        old_speedup = old_run.get("speedup")
+        new_speedup = new_run.get("speedup")
+        if old_speedup is not None and new_speedup is not None:
+            lines.append(
+                f"  speedup    {old_speedup:.1f}x → {new_speedup:.1f}x"
+            )
     return "\n".join(lines)

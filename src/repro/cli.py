@@ -34,10 +34,12 @@ from typing import Sequence
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.perf import (
     PERF_EXPERIMENTS,
+    compare_perf_documents,
     render_perf_summary,
     run_perf_suite,
     write_perf_json,
 )
+from repro.core.algorithm import KERNEL_MODES
 from repro.core.plan import clear_plan_cache, compile_plan, plan_cache_info
 from repro.db.evaluation import count_satisfying_assignments
 from repro.db.io import load_database, load_probabilistic
@@ -56,6 +58,21 @@ def _add_policy_option(subparser: argparse.ArgumentParser) -> None:
         default="rule1_first",
         choices=policy_names(),
         help="elimination policy (min_support is cost-based)",
+    )
+
+
+def _add_kernel_mode_option(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--kernel-mode",
+        dest="kernel_mode",
+        default="auto",
+        choices=KERNEL_MODES,
+        help=(
+            "execution tier: auto/array use the columnar numpy tier for "
+            "flat-carrier monoids (falling back to the batched kernels), "
+            "batched forces the batched kernels, scalar the per-element "
+            "baseline"
+        ),
     )
 
 
@@ -79,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     pqe.add_argument("--db", required=True, help="probabilistic-database JSON file")
     pqe.add_argument("--exact", action="store_true", help="exact rationals")
     _add_policy_option(pqe)
+    _add_kernel_mode_option(pqe)
 
     bsm = commands.add_parser("bsm", help="bag-set maximization")
     bsm.add_argument("query")
@@ -89,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--witness", action="store_true", help="also print an optimal repair"
     )
     _add_policy_option(bsm)
+    _add_kernel_mode_option(bsm)
 
     shapley = commands.add_parser("shapley", help="Shapley values of facts")
     shapley.add_argument("query")
@@ -98,6 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--banzhaf", action="store_true", help="also print Banzhaf indices"
     )
     _add_policy_option(shapley)
+    _add_kernel_mode_option(shapley)
 
     res = commands.add_parser("resilience", help="resilience of a true query")
     res.add_argument("query")
@@ -106,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     res.add_argument(
         "--witness", action="store_true", help="also print a contingency set"
     )
+    _add_kernel_mode_option(res)
 
     cache = commands.add_parser(
         "cache", help="compiled-plan cache counters"
@@ -138,6 +159,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeats", type=int, default=3, help="best-of-N timing repeats"
     )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help=(
+            "diff two BENCH_perf.json documents (per-experiment speedup "
+            "deltas) instead of running experiments"
+        ),
+    )
     return parser
 
 
@@ -163,8 +193,11 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _engine_from(args: argparse.Namespace) -> Engine:
-    """An engine configured from the command's ``--policy`` flag."""
-    return Engine(policy=getattr(args, "policy", "rule1_first"))
+    """An engine configured from ``--policy`` and ``--kernel-mode``."""
+    return Engine(
+        policy=getattr(args, "policy", "rule1_first"),
+        kernel_mode=getattr(args, "kernel_mode", "auto"),
+    )
 
 
 def _cmd_pqe(args: argparse.Namespace) -> int:
@@ -226,7 +259,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         exogenous=exogenous or Database(),
         endogenous=load_database(args.db),
     )
-    session = Engine().open(
+    session = _engine_from(args).open(
         query, exogenous=instance.exogenous, endogenous=instance.endogenous
     )
     value = session.resilience()
@@ -269,6 +302,22 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.compare:
+        old_path, new_path = args.compare
+        if args.ids or args.json_path:
+            print(
+                "error: --compare takes no experiment ids or --json",
+                file=sys.stderr,
+            )
+            return 2
+        import json
+
+        with open(old_path, encoding="utf-8") as handle:
+            old_document = json.load(handle)
+        with open(new_path, encoding="utf-8") as handle:
+            new_document = json.load(handle)
+        print(compare_perf_documents(old_document, new_document))
+        return 0
     requested = args.ids or list(PERF_EXPERIMENTS)
     unknown = [name for name in requested if name not in PERF_EXPERIMENTS]
     if unknown:

@@ -22,8 +22,8 @@ from typing import Callable, Iterable
 from contextlib import nullcontext
 
 from repro.algebra.base import K, TwoMonoid
-from repro.core.kernels import scalar_kernels
-from repro.db.annotated import KDatabase, KRelation
+from repro.core.kernels import array_kernel_for, scalar_kernels
+from repro.db.annotated import ColumnarKRelation, KDatabase, KRelation
 from repro.db.fact import Fact
 from repro.exceptions import ReproError
 from repro.query.bcq import BCQ
@@ -33,19 +33,77 @@ from repro.core.plan import MergeStep, Plan, PlanStep, ProjectStep, compile_plan
 StepHook = Callable[[PlanStep, KRelation], None]
 """Optional observer invoked after each executed step with its output relation."""
 
-KERNEL_MODES = ("auto", "scalar")
-"""``auto`` uses registered batched kernels; ``scalar`` forces per-element
-``monoid.add``/``mul`` dispatch (the benchmark baseline)."""
+KERNEL_MODES = ("auto", "array", "batched", "scalar")
+"""The three execution tiers (plus the auto selector):
+
+* ``"auto"`` — the columnar (numpy) tier when the monoid's carrier is a flat
+  numeric scalar with a registered array kernel and numpy is importable,
+  otherwise the batched kernels;
+* ``"array"`` — same selection as ``auto`` (the explicit spelling used by
+  benchmarks and the CLI; like ``auto`` it transparently falls back to the
+  batched tier for exact carriers or when numpy is absent);
+* ``"batched"`` — registered batched kernels only, never the columnar tier
+  (the PR 2 engine; the baseline the array tier is measured against);
+* ``"scalar"`` — per-element ``monoid.add``/``mul`` dispatch (the original
+  baseline).
+"""
 
 
 def _kernel_context(kernel_mode: str):
-    if kernel_mode == "auto":
+    if kernel_mode in ("auto", "array", "batched"):
         return nullcontext()
     if kernel_mode == "scalar":
         return scalar_kernels()
     raise ReproError(
         f"unknown kernel mode {kernel_mode!r}; expected one of {KERNEL_MODES}"
     )
+
+
+def _array_kernel_if_selected(kernel_mode: str, monoid):
+    """The monoid's array kernel when *kernel_mode* selects the columnar
+    tier, else ``None`` (also validates the mode string)."""
+    if kernel_mode in ("auto", "array"):
+        return array_kernel_for(monoid)
+    if kernel_mode not in KERNEL_MODES:
+        raise ReproError(
+            f"unknown kernel mode {kernel_mode!r}; "
+            f"expected one of {KERNEL_MODES}"
+        )
+    return None
+
+
+def _attempt_columnar(annotated: KDatabase, kernel_mode: str, executor):
+    """Run *executor(array_kernel)* on the columnar tier, or return ``None``.
+
+    The single home of the tier-selection/fallback policy shared by the
+    Boolean and grouped executors: selects (and validates) the array
+    kernel, honors a memoized not-representable verdict, and on
+    ``OverflowError`` records that verdict on the database — so both
+    engines fall back identically, now and under any future change here.
+    """
+    array_kernel = _array_kernel_if_selected(kernel_mode, annotated.monoid)
+    if array_kernel is None or annotated.columnar_declined(array_kernel):
+        return None
+    try:
+        return executor(array_kernel)
+    except OverflowError:
+        # Annotations outside the kernel dtype: not columnar-representable.
+        # Memoized (until a mutation) so repeated executions skip the
+        # doomed encode attempt.
+        annotated.decline_columnar(array_kernel)
+        return None
+
+
+def _columnar_view_getter(annotated: KDatabase, array_kernel):
+    """A ``(name, live_relation) → ColumnarKRelation`` accessor that passes
+    step outputs through and lazily materializes cached input views."""
+
+    def columnar(name: str, relation):
+        if isinstance(relation, ColumnarKRelation):
+            return relation
+        return annotated.columnar_relation(name, array_kernel)
+
+    return columnar
 
 
 @dataclass
@@ -68,6 +126,20 @@ class ExecutionReport:
     max_live_support: int
 
 
+def _merge_operands(first, second, annihilates: bool):
+    """Order the two Rule 2 operands so the smaller support drives the probe.
+
+    ``merge`` iterates/probes from its receiver, so for annihilating monoids
+    (output = support intersection) building from the smaller side does less
+    work.  ⊗ is commutative by the 2-monoid laws, so swapping operands never
+    changes the result; non-annihilating merges walk the support union
+    either way and keep the plan's order.
+    """
+    if annihilates and len(second) < len(first):
+        return second, first
+    return first, second
+
+
 def execute_plan(
     plan: Plan,
     annotated: KDatabase[K],
@@ -77,15 +149,28 @@ def execute_plan(
 ) -> ExecutionReport:
     """Execute *plan* over *annotated* and return the result with bookkeeping.
 
-    ``kernel_mode="scalar"`` forces per-element monoid dispatch for every
-    relation operation in the run — the baseline the perf suite compares the
-    batched kernels against.
+    ``kernel_mode`` picks the execution tier (see :data:`KERNEL_MODES`).
+    Under ``"auto"``/``"array"`` flat-carrier monoids run on the columnar
+    (numpy) tier; exact carriers — and every run when numpy is absent —
+    fall back to the batched kernels, and ``"scalar"`` forces per-element
+    monoid dispatch (the perf-suite baseline).  Step observers (*on_step*)
+    receive dict-layout relations, so instrumented runs stay on the batched
+    tier.
     """
+    if on_step is None:
+        report = _attempt_columnar(
+            annotated,
+            kernel_mode,
+            lambda kernel: _execute_plan_columnar(plan, annotated, kernel),
+        )
+        if report is not None:
+            return report
     with _kernel_context(kernel_mode):
         live: dict[str, KRelation[K]] = {
             relation.atom.relation: relation
             for relation in annotated.relations()
         }
+        annihilates = annotated.monoid.annihilates
         max_live = sum(len(relation) for relation in live.values())
         for index, step in enumerate(plan.steps):
             if isinstance(step, ProjectStep):
@@ -95,7 +180,8 @@ def execute_plan(
                 assert isinstance(step, MergeStep)
                 first = live.pop(step.first.relation)
                 second = live.pop(step.second.relation)
-                produced = first.merge(second, step.target)
+                build, probe = _merge_operands(first, second, annihilates)
+                produced = build.merge(probe, step.target)
             live[step.target.relation] = produced
             max_live = max(
                 max_live, sum(len(relation) for relation in live.values())
@@ -105,6 +191,55 @@ def execute_plan(
         final = live[plan.final_relation]
     return ExecutionReport(
         result=final.annotation(()),
+        steps_executed=len(plan.steps),
+        max_live_support=max_live,
+    )
+
+
+def _execute_plan_columnar(
+    plan: Plan, annotated: KDatabase[K], array_kernel
+) -> ExecutionReport:
+    """The columnar tier of :func:`execute_plan`.
+
+    Input relations are materialized lazily into cached
+    :class:`~repro.db.annotated.ColumnarKRelation` views (one dict → column
+    conversion per relation per database, amortized across executions);
+    every step then runs entirely inside numpy.  Agrees with the batched
+    tier bit-identically for int/bool carriers and within the monoid
+    tolerance for floats (⊕-fold order follows the key sort instead of the
+    insertion order).
+    """
+    live: dict[str, object] = {
+        relation.atom.relation: relation
+        for relation in annotated.relations()
+    }
+    columnar = _columnar_view_getter(annotated, array_kernel)
+    annihilates = annotated.monoid.annihilates
+    max_live = sum(len(relation) for relation in live.values())
+    for step in plan.steps:
+        if isinstance(step, ProjectStep):
+            name = step.source.relation
+            source = columnar(name, live.pop(name))
+            produced = source.project_out(step.variable, step.target)
+        else:
+            assert isinstance(step, MergeStep)
+            first = columnar(step.first.relation, live.pop(step.first.relation))
+            second = columnar(
+                step.second.relation, live.pop(step.second.relation)
+            )
+            build, probe = _merge_operands(first, second, annihilates)
+            produced = build.merge(probe, step.target)
+        live[step.target.relation] = produced
+        max_live = max(
+            max_live, sum(len(relation) for relation in live.values())
+        )
+    final = live[plan.final_relation]
+    if isinstance(final, ColumnarKRelation):
+        result = final.nullary_annotation()
+    else:  # step-free plan: the final relation is an input
+        result = final.annotation(())
+    return ExecutionReport(
+        result=result,
         steps_executed=len(plan.steps),
         max_live_support=max_live,
     )

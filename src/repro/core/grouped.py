@@ -176,12 +176,28 @@ def execute_grouped_plan(
 ) -> KRelation[K]:
     """Execute a grouped plan, returning the answer K-relation over ``F``.
 
-    Every relation operation routes through the batched kernel engine (or
-    the scalar baseline under ``kernel_mode="scalar"``), exactly like the
-    Boolean :func:`~repro.core.algorithm.execute_plan`.
+    Every relation operation routes through the kernel tier *kernel_mode*
+    selects — the columnar (numpy) tier for flat-carrier monoids under
+    ``"auto"``/``"array"``, the batched kernels otherwise, the scalar
+    baseline under ``"scalar"`` — exactly like the Boolean
+    :func:`~repro.core.algorithm.execute_plan`.  The columnar answer
+    relation is decoded back to the dict layout, so callers always receive
+    a :class:`KRelation`.
     """
-    from repro.core.algorithm import _kernel_context
+    from repro.core.algorithm import (
+        _attempt_columnar,
+        _kernel_context,
+        _merge_operands,
+    )
 
+    answer = _attempt_columnar(
+        annotated,
+        kernel_mode,
+        lambda kernel: _execute_grouped_columnar(plan, annotated, kernel),
+    )
+    if answer is not None:
+        return answer
+    annihilates = annotated.monoid.annihilates
     with _kernel_context(kernel_mode):
         live: dict[str, KRelation[K]] = {
             relation.atom.relation: relation
@@ -200,8 +216,46 @@ def execute_grouped_plan(
             else:
                 first = live.pop(step.first.relation)
                 second = live.pop(step.second.relation)
-                live[step.target.relation] = first.merge(second, step.target)
+                build, probe = _merge_operands(first, second, annihilates)
+                live[step.target.relation] = build.merge(probe, step.target)
         return live[plan.final_relation]
+
+
+def _execute_grouped_columnar(
+    plan: GroupedPlan, annotated: KDatabase[K], array_kernel
+) -> KRelation[K]:
+    """Columnar tier of :func:`execute_grouped_plan` (including absorbs)."""
+    from repro.core.algorithm import _columnar_view_getter, _merge_operands
+    from repro.db.annotated import ColumnarKRelation
+
+    live: dict[str, object] = {
+        relation.atom.relation: relation
+        for relation in annotated.relations()
+    }
+    columnar = _columnar_view_getter(annotated, array_kernel)
+    annihilates = annotated.monoid.annihilates
+    for step in plan.steps:
+        if isinstance(step, ProjectStep):
+            name = step.source.relation
+            source = columnar(name, live.pop(name))
+            live[step.target.relation] = source.project_out(
+                step.variable, step.target
+            )
+        elif isinstance(step, AbsorbStep):
+            small = columnar(step.small.relation, live.pop(step.small.relation))
+            big = columnar(step.big.relation, live.pop(step.big.relation))
+            live[step.target.relation] = big.absorb(small, step.target)
+        else:
+            first = columnar(step.first.relation, live.pop(step.first.relation))
+            second = columnar(
+                step.second.relation, live.pop(step.second.relation)
+            )
+            build, probe = _merge_operands(first, second, annihilates)
+            live[step.target.relation] = build.merge(probe, step.target)
+    final = live[plan.final_relation]
+    if isinstance(final, ColumnarKRelation):
+        return final.to_krelation()
+    return final
 
 
 def evaluate_grouped(

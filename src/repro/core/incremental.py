@@ -53,10 +53,13 @@ class IncrementalEvaluator(Generic[K]):
         Elimination policy for the compiled plan; ``"min_support"`` uses the
         initial database's support sizes.
     kernel_mode:
-        ``"auto"`` routes the initial :meth:`_build` through the batched
-        kernel engine, ``"scalar"`` forces per-element dispatch.  Updates
-        re-derive single chains and always use scalar monoid operations;
-        both modes maintain identical results (the tests check this).
+        ``"auto"``/``"array"``/``"batched"`` route the initial
+        :meth:`_build` through the batched kernel engine, ``"scalar"``
+        forces per-element dispatch.  The columnar (array) tier is never
+        used here: the maintained stages are exactly the dict-layout
+        relations single-fact updates mutate in place.  Updates re-derive
+        single chains and always use scalar monoid operations; all modes
+        maintain identical results (the tests check this).
     """
 
     def __init__(

@@ -30,19 +30,62 @@ Design:
   everywhere — the benchmark suite uses it to measure scalar-vs-kernel
   speedups on identical code paths (``execute_plan(kernel_mode="scalar")``).
 
+On top of the batched tier sits an optional third, **columnar** tier: when a
+monoid's carrier is a flat numeric scalar (float/int/bool) and numpy is
+importable, an :class:`ArrayKernel` supplies the vectorized ⊕-fold
+(``ufunc.reduceat`` over sorted group boundaries) and elementwise ⊗ that the
+columnar relation layout in :mod:`repro.db.annotated` drives.  numpy is an
+*optional* dependency: :func:`numpy_or_none` guards the import, exact
+carriers (Fractions, Shapley/bag-set vectors, provenance trees) never get an
+array kernel, and every caller falls back to the batched tier when
+:func:`array_kernel_for` returns ``None``.
+
 Every kernel must be *extensionally equal* to the scalar path on its monoid
-(same outputs, up to ``monoid.eq``); ``tests/test_kernels.py`` checks this
-property on randomized relations for every bundled monoid.
+(same outputs, up to ``monoid.eq``); ``tests/test_kernels.py`` and
+``tests/test_array_kernels.py`` check this property on randomized relations
+for every bundled monoid.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Generic, Iterator, Sequence
+from typing import Callable, Generic, Iterator, Optional, Sequence
 
 from repro.algebra.base import K, TwoMonoid
 
 KernelFactory = Callable[[TwoMonoid], "MonoidKernel"]
+ArrayKernelFactory = Callable[[TwoMonoid, object], "Optional[ArrayKernel]"]
+
+# ----------------------------------------------------------------------
+# Optional numpy (the columnar tier's only dependency)
+# ----------------------------------------------------------------------
+_NUMPY_UNRESOLVED = object()
+_numpy_module: object = _NUMPY_UNRESOLVED
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when it is not importable.
+
+    The probe result is cached for the life of the process;
+    :func:`_reset_numpy_probe` (tests only) re-runs it, so a test can block
+    the import via ``sys.modules`` and exercise the no-numpy fallback.
+    """
+    global _numpy_module
+    if _numpy_module is _NUMPY_UNRESOLVED:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def _reset_numpy_probe() -> None:
+    """Forget the cached numpy probe (tests re-probe under a blocked import)."""
+    global _numpy_module, _ARRAY_REGISTRY_VERSION
+    _numpy_module = _NUMPY_UNRESOLVED
+    # Array kernels close over the probed module; invalidate their caches.
+    _ARRAY_REGISTRY_VERSION += 1
 
 
 class MonoidKernel(Generic[K]):
@@ -227,3 +270,144 @@ def scalar_kernels() -> Iterator[None]:
 def kernels_forced_scalar() -> bool:
     """True inside a :func:`scalar_kernels` block (for tests/diagnostics)."""
     return _FORCE_GENERIC
+
+
+# ----------------------------------------------------------------------
+# Array kernels: the columnar (numpy) tier
+# ----------------------------------------------------------------------
+class ArrayKernel(Generic[K]):
+    """Vectorized operations over one *flat-carrier* 2-monoid.
+
+    Where a :class:`MonoidKernel` receives Python lists, an ``ArrayKernel``
+    receives numpy arrays: annotation columns of the columnar relation layout
+    (:class:`repro.db.annotated.ColumnarKRelation`).  Subclasses set
+    :attr:`dtype` and implement the two batched shapes of Algorithm 1:
+
+    * :meth:`fold_groups` — Rule 1: ⊕-reduce contiguous segments of a sorted
+      annotation array, one segment per surviving key (``ufunc.reduceat``);
+    * :meth:`mul_arrays` — Rule 2: elementwise ⊗ of two aligned columns.
+
+    Plus :meth:`zero_mask`, the vectorized ⊕-identity test used to keep the
+    support invariant (annotations equal to ``monoid.zero`` are dropped).
+    Every method must agree with the scalar ``monoid.add``/``mul`` up to the
+    monoid's equality tolerance — bit-identically for int/bool carriers,
+    where reduction order cannot change the result.
+    """
+
+    #: numpy dtype of the annotation column (set by subclasses).
+    dtype: object = None
+
+    def __init__(self, monoid: TwoMonoid[K], np):
+        self.monoid = monoid
+        self.np = np
+
+    # -- conversion ----------------------------------------------------
+    def to_array(self, annotations: Sequence[K]):
+        """Pack a batch of carrier scalars into one annotation column.
+
+        May raise ``OverflowError`` for values outside the dtype's range
+        (e.g. Python ints beyond int64); callers treat that as "this
+        database is not columnar-representable" and fall back to the
+        batched tier.
+        """
+        return self.np.asarray(annotations, dtype=self.dtype)
+
+    def empty_column(self):
+        return self.np.empty(0, dtype=self.dtype)
+
+    def to_scalar(self, value) -> K:
+        """One numpy scalar back to the native Python carrier."""
+        return value.item()
+
+    def to_scalars(self, column) -> list:
+        """A whole annotation column back to native Python scalars."""
+        return column.tolist()
+
+    # -- the two batched operations ------------------------------------
+    def fold_groups(self, annotations, starts):
+        """⊕-reduce ``annotations[starts[i]:starts[i+1]]`` for every ``i``.
+
+        *annotations* is already permuted into group order and *starts*
+        (``intp``, strictly increasing, ``starts[0] == 0``) marks each
+        group's first index; the last group runs to the end of the array.
+        """
+        raise NotImplementedError
+
+    def mul_arrays(self, lefts, rights):
+        """Elementwise ``lefts[i] ⊗ rights[i]`` over aligned columns."""
+        raise NotImplementedError
+
+    def zero_mask(self, column):
+        """Boolean mask of entries equal to the ⊕-identity (``monoid.zero``)."""
+        return column == self.monoid.zero
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} over {self.monoid.name!r}>"
+
+
+class ExactObjectArrayKernel(ArrayKernel[K]):
+    """Array kernel over ``dtype=object`` columns of exact Python values.
+
+    Unbounded-int carriers (counting, (max, ×)) must never be squeezed into
+    a fixed-width dtype: int64 arithmetic *wraps silently* on overflow,
+    which would corrupt answers under the default ``auto`` tier with no
+    exception to trigger the batched fallback.  Object columns keep the
+    numpy grouping/alignment machinery (the key columns stay int64) while
+    the ⊕/⊗ arithmetic runs on the stored Python ints — exact at any
+    magnitude, still one C-dispatched loop per batch instead of a Python
+    call per tuple.
+    """
+
+    dtype = object
+
+    def to_scalar(self, value) -> K:
+        # Object columns store the carrier value itself, not a numpy scalar.
+        return value
+
+
+_ARRAY_REGISTRY: dict[type, ArrayKernelFactory] = {}
+_ARRAY_REGISTRY_VERSION = 0
+
+
+def register_array_kernel(
+    monoid_type: type, factory: ArrayKernelFactory
+) -> None:
+    """Register *factory* as the array-kernel builder for *monoid_type*.
+
+    The factory receives the monoid instance and the probed numpy module; it
+    may return ``None`` to decline (the standard guard for subclasses whose
+    carrier is not the flat scalar the kernel vectorizes — e.g. the exact
+    rational probability/real monoids, which inherit ``add``/``mul`` but
+    carry :class:`~fractions.Fraction`).  Resolution walks the MRO exactly
+    like :func:`register_kernel`.
+    """
+    global _ARRAY_REGISTRY_VERSION
+    _ARRAY_REGISTRY[monoid_type] = factory
+    _ARRAY_REGISTRY_VERSION += 1
+
+
+def array_kernel_for(monoid: TwoMonoid[K]) -> ArrayKernel[K] | None:
+    """The array kernel serving *monoid*, or ``None``.
+
+    ``None`` — meaning "use the batched tier" — when numpy is not
+    importable, inside a :func:`scalar_kernels` block, when no factory is
+    registered along the monoid's MRO, or when the registered factory
+    declines the instance.  The result is memoized on the monoid instance,
+    invalidated when the registry (or the numpy probe) changes.
+    """
+    if _FORCE_GENERIC or numpy_or_none() is None:
+        return None
+    cached = getattr(monoid, "_array_kernel_cache", None)
+    if cached is not None and cached[0] == _ARRAY_REGISTRY_VERSION:
+        return cached[1]
+    kernel: ArrayKernel | None = None
+    for klass in type(monoid).__mro__:
+        factory = _ARRAY_REGISTRY.get(klass)
+        if factory is not None:
+            kernel = factory(monoid, numpy_or_none())
+            break
+    try:
+        monoid._array_kernel_cache = (_ARRAY_REGISTRY_VERSION, kernel)
+    except AttributeError:  # slots/frozen monoid: rebuild per call
+        pass
+    return kernel

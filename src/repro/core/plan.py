@@ -51,7 +51,15 @@ class ProjectStep:
 
 @dataclass(frozen=True)
 class MergeStep:
-    """Rule 2: ``target(x) = first(x) ⊗ second(x)`` over equal variable sets."""
+    """Rule 2: ``target(x) = first(x) ⊗ second(x)`` over equal variable sets.
+
+    The compiled order of ``first``/``second`` is the elimination trace's;
+    the executors may swap the operands at runtime so the smaller support
+    drives the probe (sound because ⊗ is commutative — see
+    ``_merge_operands`` in :mod:`repro.core.algorithm`).  Plans therefore
+    stay data-independent while the build-side choice uses the actual
+    support sizes of the database being executed.
+    """
 
     first: Atom
     second: Atom

@@ -19,10 +19,24 @@ pairs for Rule 2 — and then hand it to the monoid's batched
 dynamic ``monoid.add``/``mul`` per tuple.  The kernel registry picks a
 carrier-specialized implementation when one is registered and the
 always-correct scalar fallback otherwise (see :mod:`repro.core.kernels`).
+
+On top of the dict layout sits an optional **columnar** tier
+(:class:`ColumnarKRelation`): support tuples stored as parallel int64 key
+columns (domain values dictionary-encoded through a per-database
+:class:`_ValueInterner`) plus one numpy annotation array.  On this layout
+Rule 1 is ``lexsort`` + segment-boundary detection + one ``reduceat``-style
+⊕-fold, and Rule 2 is sorted-key alignment (``searchsorted`` intersection
+for annihilating monoids, a union merge otherwise) followed by one
+elementwise ⊗ — no per-tuple Python at all after materialization.  Views
+are materialized lazily from the dict form and cached on the
+:class:`KDatabase` across plan executions (sessions replay one annotated
+database many times); any mutation of a relation bumps its version and
+invalidates only that relation's view.
 """
 
 from __future__ import annotations
 
+import math
 from operator import itemgetter
 from typing import Callable, Generic, Iterable, Iterator, Mapping, Sequence
 
@@ -77,6 +91,9 @@ class KRelation(Generic[K]):
         self.atom = atom
         self.monoid = monoid
         self._annotations: dict[tuple[Value, ...], K] = {}
+        #: Mutation counter: bumped by every write so cached columnar views
+        #: (see :meth:`KDatabase.columnar_relation`) can detect staleness.
+        self._version = 0
         if annotations:
             for values, annotation in annotations.items():
                 self.set(values, annotation)
@@ -96,6 +113,7 @@ class KRelation(Generic[K]):
                 f"tuple {values} has arity {len(values)}; atom {self.atom} "
                 f"expects {self.atom.arity}"
             )
+        self._version += 1
         if self.monoid.is_zero(annotation):
             self._annotations.pop(values, None)
         else:
@@ -129,6 +147,7 @@ class KRelation(Generic[K]):
                 f"tuple {bad} has arity {len(bad)}; atom {self.atom} "
                 f"expects {arity}"
             )
+        self._version += 1
         if not self._annotations:
             self._annotations = _kernel_for(self.monoid).annotate_support(
                 keys, annotations
@@ -324,6 +343,370 @@ class KRelation(Generic[K]):
         return result
 
 
+class _ValueInterner:
+    """A bijective value ↔ int64-code dictionary shared by one database.
+
+    Codes are assigned in first-seen order, so equal domain values (under
+    Python ``==``/``hash`` — the same notion the dict layout keys on) get
+    equal codes **across relations**, which is what lets the columnar merge
+    compare keys by integer comparison alone.
+    """
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self) -> None:
+        self._codes: dict = {}
+        self._values: list = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode_column(self, np, values: Iterable[Value], count: int):
+        """One int64 code array for *count* domain values.
+
+        The single remaining per-tuple Python loop of the columnar tier: it
+        runs once per relation materialization (cached across executions),
+        not once per plan step.
+        """
+        codes = self._codes
+        interned = self._values
+        out = np.empty(count, dtype=np.int64)
+        index = 0
+        for value in values:
+            code = codes.get(value)
+            if code is None:
+                code = len(interned)
+                codes[value] = code
+                interned.append(value)
+            out[index] = code
+            index += 1
+        return out
+
+    def decode(self, code: int) -> Value:
+        return self._values[code]
+
+
+class ColumnarKRelation(Generic[K]):
+    """Array-backed view of a :class:`KRelation`: the columnar tier's layout.
+
+    Support tuples live as parallel int64 key columns (one per atom
+    position, dictionary-encoded through the database's
+    :class:`_ValueInterner`) plus one numpy annotation column typed by the
+    monoid's :class:`~repro.core.kernels.ArrayKernel`.  The three
+    elimination operations mirror :class:`KRelation`'s semantics exactly —
+    same zero-dropping, same union-vs-intersection Rule 2 discipline — but
+    run their grouping, alignment and arithmetic entirely inside numpy.
+    """
+
+    __slots__ = ("atom", "kernel", "columns", "annotations", "interner")
+
+    def __init__(self, atom, kernel, columns, annotations, interner):
+        self.atom = atom
+        self.kernel = kernel
+        self.columns = columns
+        self.annotations = annotations
+        self.interner = interner
+
+    @classmethod
+    def from_relation(
+        cls, relation: KRelation[K], kernel, interner: _ValueInterner
+    ) -> "ColumnarKRelation[K]":
+        """Materialize the dict layout (may raise ``OverflowError`` for
+        annotations outside the kernel dtype's range — callers fall back to
+        the batched tier)."""
+        np = kernel.np
+        annotations = relation._annotations
+        count = len(annotations)
+        keys = annotations.keys()
+        columns = tuple(
+            interner.encode_column(
+                np, (key[position] for key in keys), count
+            )
+            for position in range(relation.atom.arity)
+        )
+        packed = kernel.to_array(list(annotations.values()))
+        return cls(relation.atom, kernel, columns, packed, interner)
+
+    def __len__(self) -> int:
+        return int(self.annotations.shape[0])
+
+    def __repr__(self) -> str:
+        return f"ColumnarKRelation({self.atom}, |support|={len(self)})"
+
+    def to_krelation(self) -> KRelation[K]:
+        """Decode back to the dict layout (used for final/grouped outputs)."""
+        result = KRelation(self.atom, self.kernel.monoid)
+        decode = self.interner._values
+        columns = [column.tolist() for column in self.columns]
+        annotations = self.kernel.to_scalars(self.annotations)
+        support = result._annotations
+        for index, annotation in enumerate(annotations):
+            key = tuple(decode[column[index]] for column in columns)
+            support[key] = annotation
+        return result
+
+    def nullary_annotation(self) -> K:
+        """The annotation of ``()`` — the terminal read of Algorithm 1."""
+        if self.atom.arity != 0:
+            raise AlgebraError(
+                f"{self.atom} is not nullary; cannot read the () annotation"
+            )
+        if len(self) == 0:
+            return self.kernel.monoid.zero
+        return self.kernel.to_scalar(self.annotations[0])
+
+    # ------------------------------------------------------------------
+    # Key plumbing
+    # ------------------------------------------------------------------
+    def _aligned_columns(self, target: Atom):
+        """This relation's key columns reordered to *target*'s variables."""
+        if self.atom.variables == target.variables:
+            return self.columns
+        variables = self.atom.variables
+        return tuple(
+            self.columns[variables.index(v)] for v in target.variables
+        )
+
+    # ------------------------------------------------------------------
+    # The elimination operations, columnar
+    # ------------------------------------------------------------------
+    def project_out(
+        self, variable: Variable, target: Atom
+    ) -> "ColumnarKRelation[K]":
+        """Rule 1: sort by the surviving columns, ⊕-reduce each segment."""
+        if variable not in self.atom.variable_set:
+            raise AlgebraError(f"{variable} does not occur in {self.atom}")
+        kernel = self.kernel
+        np = kernel.np
+        keep = tuple(
+            i for i, v in enumerate(self.atom.variables) if v != variable
+        )
+        n = len(self)
+        columns = tuple(self.columns[i] for i in keep)
+        if n == 0:
+            return ColumnarKRelation(
+                target, kernel, columns, self.annotations, self.interner
+            )
+        if not columns:
+            # Projecting to the nullary atom: one group, one fold.
+            starts = np.zeros(1, dtype=np.intp)
+            folded = kernel.fold_groups(self.annotations, starts)
+            keep_mask = ~kernel.zero_mask(folded)
+            return ColumnarKRelation(
+                target, kernel, (), folded[keep_mask], self.interner
+            )
+        order = np.lexsort(columns[::-1])
+        sorted_columns = tuple(column[order] for column in columns)
+        boundary = np.zeros(n, dtype=bool)
+        boundary[0] = True
+        for column in sorted_columns:
+            boundary[1:] |= column[1:] != column[:-1]
+        starts = np.flatnonzero(boundary)
+        folded = kernel.fold_groups(self.annotations[order], starts)
+        out_columns = tuple(column[starts] for column in sorted_columns)
+        folded, out_columns = _drop_zeros(kernel, folded, out_columns)
+        return ColumnarKRelation(
+            target, kernel, out_columns, folded, self.interner
+        )
+
+    def merge(
+        self, other: "ColumnarKRelation[K]", target: Atom
+    ) -> "ColumnarKRelation[K]":
+        """Rule 2: sorted-key alignment, then one elementwise ⊗.
+
+        Annihilating monoids intersect the supports (``searchsorted`` of
+        this side's composite ids in the other side's sorted ids); the
+        general 2-monoid case walks the support *union* — matched pairs get
+        ``a ⊗ b``, one-sided tuples ``a ⊗ 0`` / ``0 ⊗ b``, exactly like the
+        dict layout.
+        """
+        if self.atom.variable_set != other.atom.variable_set:
+            raise AlgebraError(
+                f"cannot merge {self.atom} with {other.atom}: "
+                "different variable sets"
+            )
+        kernel = self.kernel
+        monoid = kernel.monoid
+        if monoid is not other.kernel.monoid:
+            raise AlgebraError("cannot merge relations over different monoids")
+        np = kernel.np
+        self_columns = self._aligned_columns(target)
+        other_columns = other._aligned_columns(target)
+        n_self, n_other = len(self), len(other)
+        self_ids, other_ids = _paired_ids(
+            np, self_columns, other_columns, n_self, n_other,
+            len(self.interner),
+        )
+        if monoid.annihilates:
+            # Intersection: one-sided tuples would ⊗-annihilate anyway.
+            # Orient the lookup so the argsort runs over the SMALLER side
+            # and the larger side only pays a searchsorted probe.
+            if n_self <= n_other:
+                found, matched_rows = _sorted_lookup(np, other_ids, self_ids)
+                left = self.annotations[matched_rows[found]]
+                right = other.annotations[found]
+                matched_columns = other_columns
+            else:
+                found, matched_rows = _sorted_lookup(np, self_ids, other_ids)
+                left = self.annotations[found]
+                right = other.annotations[matched_rows[found]]
+                matched_columns = self_columns
+            products = kernel.mul_arrays(left, right)
+            out_columns = tuple(
+                column[found] for column in matched_columns
+            )
+        else:
+            found, matched_rows = _sorted_lookup(np, self_ids, other_ids)
+            # Union: self rows against matched-or-zero, then other-only rows
+            # against zero (a ⊗ 0 need not be 0 in a general 2-monoid).
+            zero_value = monoid.zero
+            if n_other:
+                matched_annotations = other.annotations[matched_rows]
+            else:
+                matched_annotations = kernel.to_array([zero_value] * n_self)
+            right = np.where(found, matched_annotations, zero_value)
+            products_self = kernel.mul_arrays(self.annotations, right)
+            other_only = np.ones(n_other, dtype=bool)
+            other_only[matched_rows[found]] = False
+            only_annotations = other.annotations[other_only]
+            zeros = kernel.to_array([zero_value] * int(other_only.sum()))
+            products_other = kernel.mul_arrays(zeros, only_annotations)
+            products = np.concatenate([products_self, products_other])
+            out_columns = tuple(
+                np.concatenate([mine, theirs[other_only]])
+                for mine, theirs in zip(self_columns, other_columns)
+            )
+        products, out_columns = _drop_zeros(kernel, products, out_columns)
+        return ColumnarKRelation(
+            target, kernel, out_columns, products, self.interner
+        )
+
+    def absorb(
+        self, smaller: "ColumnarKRelation[K]", target: Atom
+    ) -> "ColumnarKRelation[K]":
+        """Columnar semi-join merge over a variable subset (grouped engine).
+
+        Same soundness conditions as :meth:`KRelation.absorb` — in
+        particular annihilation-by-zero, which is what licenses keeping only
+        the matched rows.
+        """
+        kernel = self.kernel
+        monoid = kernel.monoid
+        if monoid is not smaller.kernel.monoid:
+            raise AlgebraError("cannot absorb a relation over a different monoid")
+        if not monoid.annihilates:
+            raise AlgebraError(
+                f"absorb requires annihilation-by-zero; {monoid.name} lacks it"
+            )
+        if not smaller.atom.variable_set < self.atom.variable_set:
+            raise AlgebraError(
+                f"{smaller.atom} is not over a strict variable subset of {self.atom}"
+            )
+        if target.variable_set != self.atom.variable_set:
+            raise AlgebraError(
+                f"target {target} must keep the variable set of {self.atom}"
+            )
+        np = kernel.np
+        self_columns = self._aligned_columns(target)
+        projected = tuple(
+            self_columns[target.variables.index(v)]
+            for v in smaller.atom.variables
+        )
+        n_self, n_small = len(self), len(smaller)
+        self_ids, small_ids = _paired_ids(
+            np, projected, smaller.columns, n_self, n_small,
+            len(self.interner),
+        )
+        found, matched_rows = _sorted_lookup(np, self_ids, small_ids)
+        left = self.annotations[found]
+        right = smaller.annotations[matched_rows[found]]
+        products = kernel.mul_arrays(left, right)
+        out_columns = tuple(column[found] for column in self_columns)
+        products, out_columns = _drop_zeros(kernel, products, out_columns)
+        return ColumnarKRelation(
+            target, kernel, out_columns, products, self.interner
+        )
+
+
+def _drop_zeros(kernel, annotations, columns):
+    """Filter ⊕-identity annotations out of an op result (the support
+    invariant), shared by all three columnar elimination operations."""
+    zero = kernel.zero_mask(annotations)
+    if not zero.any():
+        return annotations, columns
+    keep = ~zero
+    return annotations[keep], tuple(column[keep] for column in columns)
+
+
+def _paired_ids(np, left_columns, right_columns, n_left, n_right, radix):
+    """Composite int64 ids for two aligned column sets, comparable across
+    the pair (equal composite keys ⇔ equal ids).
+
+    Radix-packs the per-position codes when the interner is small enough to
+    fit int64; otherwise falls back to ``np.unique(axis=0)`` inverse codes
+    over the *stacked* rows of both sides (stacking is what keeps the
+    fallback's codes consistent between the two relations).
+    """
+    arity = len(left_columns)
+    if arity == 0:
+        return (
+            np.zeros(n_left, dtype=np.int64),
+            np.zeros(n_right, dtype=np.int64),
+        )
+    if arity == 1:
+        return left_columns[0], right_columns[0]
+    packed = _pack_ids(np, left_columns, radix)
+    if packed is not None:
+        return packed, _pack_ids(np, right_columns, radix)
+    stacked = np.concatenate(
+        [np.stack(left_columns, axis=1), np.stack(right_columns, axis=1)]
+    )
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1).astype(np.int64, copy=False)
+    return inverse[:n_left], inverse[n_left:]
+
+
+def _sorted_lookup(np, probe_ids, build_ids):
+    """Sort-merge probe: for each probe id, whether it occurs in *build_ids*
+    and at which (original) row.
+
+    Returns ``(found, rows)`` — a boolean mask over the probe side and an
+    index array into the build side (meaningful where ``found``).  Build-side
+    ids are distinct (relation supports are keyed), so one ``argsort`` + one
+    ``searchsorted`` suffice.
+    """
+    n_build = build_ids.shape[0]
+    if n_build == 0:
+        return (
+            np.zeros(probe_ids.shape[0], dtype=bool),
+            np.zeros(probe_ids.shape[0], dtype=np.intp),
+        )
+    order = np.argsort(build_ids, kind="stable")
+    sorted_ids = build_ids[order]
+    positions = np.minimum(
+        np.searchsorted(sorted_ids, probe_ids), n_build - 1
+    )
+    found = sorted_ids[positions] == probe_ids
+    return found, order[positions]
+
+
+def _pack_ids(np, columns, radix: int):
+    """Radix-pack per-position code columns into one int64 id per row.
+
+    Order- and equality-preserving for any relations sharing the interner
+    the codes came from.  Returns ``None`` when ``radix**len(columns)``
+    could overflow int64 (callers fall back to unique-inverse codes).
+    """
+    radix = max(radix, 1)
+    if len(columns) * math.log2(radix) >= 62:
+        return None
+    packed = columns[0].astype(np.int64, copy=True)
+    for column in columns[1:]:
+        packed *= radix
+        packed += column
+    return packed
+
+
 class KDatabase(Generic[K]):
     """A K-annotated database: one :class:`KRelation` per atom of a query."""
 
@@ -334,6 +717,15 @@ class KDatabase(Generic[K]):
         self._relations: dict[str, KRelation[K]] = {
             atom.relation: KRelation(atom, monoid) for atom in query.atoms
         }
+        # Columnar-view cache (the array tier): one interner + one view per
+        # relation, reused across plan executions until a relation mutates.
+        self._interner: _ValueInterner | None = None
+        self._columnar: dict[str, tuple[int, ColumnarKRelation[K]]] = {}
+        self._columnar_kernel = None
+        # Memoized "not columnar-representable" verdict (kernel, version
+        # fingerprint): a database whose packing overflowed must not re-pay
+        # the failed encode attempt on every execution.
+        self._columnar_declined: tuple | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -423,3 +815,58 @@ class KDatabase(Generic[K]):
     def size(self) -> int:
         """``|D|`` for annotated databases: total support size (Def. 6.5)."""
         return sum(len(relation) for relation in self._relations.values())
+
+    # ------------------------------------------------------------------
+    # Columnar views (the array execution tier)
+    # ------------------------------------------------------------------
+    def columnar_relation(self, name: str, kernel) -> ColumnarKRelation[K]:
+        """The columnar view of one relation, cached across executions.
+
+        *kernel* is the monoid's :class:`~repro.core.kernels.ArrayKernel`.
+        Views are materialized lazily, share one :class:`_ValueInterner`
+        (so merges can compare keys by integer id), and are invalidated
+        per-relation by the :class:`KRelation` version counter — a session
+        replaying one annotated database across many requests pays the
+        dict → column conversion once per relation, not once per run.
+        """
+        relation = self.relation(name)
+        if self._columnar_kernel is not kernel:
+            # Registry change or first use: drop views built by another
+            # kernel instance (their annotation dtype may differ).
+            self._columnar.clear()
+            self._columnar_kernel = kernel
+        if self._interner is None:
+            self._interner = _ValueInterner()
+        cached = self._columnar.get(name)
+        if cached is not None and cached[0] == relation._version:
+            return cached[1]
+        view = ColumnarKRelation.from_relation(
+            relation, kernel, self._interner
+        )
+        self._columnar[name] = (relation._version, view)
+        return view
+
+    def columnar_cache_info(self) -> dict[str, int]:
+        """Cached-view count and interner size (tests/diagnostics)."""
+        return {
+            "relations": len(self._columnar),
+            "interned_values": (
+                0 if self._interner is None else len(self._interner)
+            ),
+        }
+
+    def _version_fingerprint(self) -> int:
+        """Strictly increases with any relation mutation (version bumps)."""
+        return sum(
+            relation._version for relation in self._relations.values()
+        )
+
+    def columnar_declined(self, kernel) -> bool:
+        """Whether a previous columnar materialization with *kernel* failed
+        (``OverflowError``) and no relation has mutated since."""
+        return self._columnar_declined == (kernel, self._version_fingerprint())
+
+    def decline_columnar(self, kernel) -> None:
+        """Record a failed columnar materialization (executors call this
+        after catching ``OverflowError`` so later runs skip the attempt)."""
+        self._columnar_declined = (kernel, self._version_fingerprint())

@@ -60,9 +60,14 @@ class Engine:
         from :func:`repro.query.elimination.policy_names` or a callable
         policy (callables bypass the plan cache).
     kernel_mode:
-        ``"auto"`` routes relation operations through registered batched
-        kernels; ``"scalar"`` forces per-element monoid dispatch (the
-        benchmark baseline).
+        Execution tier for every session this engine opens (see
+        :data:`repro.core.algorithm.KERNEL_MODES`): ``"auto"``/``"array"``
+        run flat-carrier monoids on the columnar numpy tier (falling back
+        to the batched kernels for exact carriers or when numpy is not
+        installed), ``"batched"`` forces the batched kernels, and
+        ``"scalar"`` forces per-element monoid dispatch (the benchmark
+        baseline).  Sessions cache each annotated database's columnar
+        views, so repeated requests skip the dict → column conversion.
     plan_cache_size:
         When given, resizes the compiled-plan LRU cache.  The cache is
         **process-wide** (shared by every engine and the legacy one-shot

@@ -450,11 +450,19 @@ class EngineSession:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Cached-state sizes and work counters for this session."""
+        annotated_databases = list(self._annotated.values())
+        if self._raw_annotated is not None:
+            annotated_databases.append(self._raw_annotated)
         info: dict = {
             "evaluations": self._evaluations,
             "annotation_builds": self._annotation_builds,
-            "annotated_databases": len(self._annotated)
-            + (1 if self._raw_annotated is not None else 0),
+            "annotated_databases": len(annotated_databases),
+            # Columnar (array-tier) views cached across this session's
+            # requests, summed over the session's annotated databases.
+            "columnar_relations": sum(
+                database.columnar_cache_info()["relations"]
+                for database in annotated_databases
+            ),
             "monoids": len(self._monoids),
             "grouped_plans": len(self._grouped_plans),
             "plan_cache": plan_cache_info(),
