@@ -56,7 +56,14 @@ from repro.core import (
     run_algorithm,
 )
 from repro.db import Database, Fact, KDatabase, KRelation, repair_cost
-from repro.engine import Engine, EngineSession
+from repro.engine import Engine, EngineSession, register_request_family
+from repro.serve import (
+    Request,
+    Scheduler,
+    Server,
+    SessionPool,
+    serve_requests,
+)
 from repro.db.evaluation import (
     count_satisfying_assignments,
     evaluates_true,
@@ -131,7 +138,11 @@ __all__ = [
     "QueryError",
     "ReductionError",
     "ReproError",
+    "Request",
     "ResilienceInstance",
+    "Scheduler",
+    "Server",
+    "SessionPool",
     "SatVector",
     "SchemaError",
     "ShapleyInstance",
@@ -160,10 +171,12 @@ __all__ = [
     "optimal_repair",
     "parse_query",
     "read_once_lineage",
+    "register_request_family",
     "render_rules",
     "repair_cost",
     "resilience",
     "run_algorithm",
+    "serve_requests",
     "sat_counts",
     "sat_counts_brute_force",
     "satisfying_assignments",

@@ -59,8 +59,10 @@ from repro.workloads.generators import (
 )
 
 #: Format version of the BENCH_perf.json document.  v3 added the ``tiers``
-#: and ``environment`` fields plus per-run ``array_s``/``array_vs_kernel``.
-SCHEMA_VERSION = 3
+#: and ``environment`` fields plus per-run ``array_s``/``array_vs_kernel``;
+#: v4 added the ``serve`` scenario (scheduler throughput and p50/p95
+#: latency per worker count, one run per execution tier).
+SCHEMA_VERSION = 4
 
 
 def environment_metadata() -> dict:
@@ -399,12 +401,190 @@ def perf_engine(quick: bool = False, repeats: int = 3) -> dict:
     }
 
 
+def _serve_stream(endogenous_facts: list, rounds: int) -> list:
+    """The mixed request stream: repeats (hot signatures) + per-fact spread.
+
+    Per round: PQE, expected count, the #Sat vector, resilience and
+    ``sat_counts`` repeat verbatim (the serving layer's memo/coalescing
+    targets), while the Shapley/Banzhaf requests walk distinct endogenous
+    facts (the sweep-batching target).  8 rounds × 8 requests = the
+    64-request stream of the acceptance criterion.
+    """
+    from repro.serve import Request
+
+    count = len(endogenous_facts)
+    requests = []
+    for round_index in range(rounds):
+        requests.extend([
+            Request.make("pqe"),
+            Request.make("expected_count"),
+            Request.make("sat_vector"),
+            Request.make("resilience"),
+            Request.make(
+                "shapley_value",
+                fact=endogenous_facts[(2 * round_index) % count],
+            ),
+            Request.make(
+                "shapley_value",
+                fact=endogenous_facts[(2 * round_index + 1) % count],
+            ),
+            Request.make("sat_counts"),
+            Request.make(
+                "banzhaf_value", fact=endogenous_facts[round_index % count]
+            ),
+        ])
+    return requests
+
+
+def _time_serve_stream(query, data, requests, engine_factory, workers):
+    """One cold-server pass over the stream: wall time, answers, latencies.
+
+    Latency is submit → future-done per request (so it includes queueing —
+    the serving-relevant number), captured by done-callbacks on the worker
+    threads.
+    """
+    from repro.serve import Server
+
+    latencies = [0.0] * len(requests)
+    with Server(
+        query, engine=engine_factory(), workers=workers, **data
+    ) as server:
+        started = time.perf_counter()
+        futures = []
+        for index, request in enumerate(requests):
+            submit_time = time.perf_counter()
+
+            def record(_future, index=index, submit_time=submit_time):
+                latencies[index] = time.perf_counter() - submit_time
+
+            future = server.submit(request)
+            future.add_done_callback(record)
+            futures.append(future)
+        answers = [future.result() for future in futures]
+        elapsed = time.perf_counter() - started
+        scheduler = server.stats()["scheduler"]
+    return elapsed, answers, latencies, scheduler
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def perf_serve(quick: bool = False, repeats: int = 3) -> dict:
+    """``serve``: scheduler throughput/latency vs sequential one-shots.
+
+    One run per execution tier: a mixed request stream (see
+    :func:`_serve_stream`) over one probabilistic database with a
+    Shapley/resilience endogenous split, served (a) sequentially through
+    throwaway one-shot sessions — the pre-serving front-end cost model,
+    re-annotating per request — and (b) through a cold
+    :class:`~repro.serve.server.Server` at several worker counts.  Records
+    throughput and p50/p95 request latency per worker count and asserts
+    every served answer equals the sequential baseline bit-for-bit.
+    """
+    from repro.engine import Engine
+    from repro.engine.session import REQUEST_FAMILIES
+
+    size = 300 if quick else 2400
+    endo_count = 4 if quick else 16
+    rounds = 2 if quick else 8
+    worker_counts = (1, 2) if quick else (1, 2, 4, 8)
+    repeats = 1 if quick else repeats
+    query = star_query(2)
+    database = random_probabilistic_database(
+        query, facts_per_relation=size // 3,
+        domain_size=max(4, size // 6), seed=size,
+    )
+    support = database.support_database()
+    facts = list(support.facts())
+    random.Random(size).shuffle(facts)
+    endogenous = Database(facts[:endo_count])
+    exogenous = Database(facts[endo_count:])
+    data = {
+        "probabilistic": database,
+        "exogenous": exogenous,
+        "endogenous": endogenous,
+    }
+    requests = _serve_stream(list(endogenous.facts()), rounds)
+
+    runs = []
+    agree = True
+    for tier in available_tiers():
+        engine_factory = lambda tier=tier: Engine(kernel_mode=tier)
+
+        def one_shot():
+            # The pre-serving cost model: every request pays a fresh
+            # throwaway session (what the problems.* front-ends open).
+            answers = []
+            for request in requests:
+                session = engine_factory().open(query, **data)
+                handler = REQUEST_FAMILIES[request.family]
+                answers.append(handler(session, **request.kwargs))
+            return answers
+
+        oneshot_time, baseline = time_callable(one_shot, repeats=repeats)
+        record = {
+            "params": {
+                "|D|": len(database),
+                "|Dn|": endo_count,
+                "requests": len(requests),
+                "tier": tier,
+            },
+            "oneshot_s": oneshot_time,
+            "workers": {},
+        }
+        identical = True
+        headline_workers = str(min(4, max(worker_counts)))
+        for workers in worker_counts:
+            best = None
+            for _ in range(max(1, repeats)):
+                sample = _time_serve_stream(
+                    query, data, requests, engine_factory, workers
+                )
+                if best is None or sample[0] < best[0]:
+                    best = sample
+            elapsed, answers, latencies, scheduler = best
+            identical = identical and answers == baseline
+            ordered = sorted(latencies)
+            record["workers"][str(workers)] = {
+                "serve_s": elapsed,
+                "throughput_rps": len(requests) / max(elapsed, 1e-12),
+                "p50_ms": _percentile(ordered, 0.50) * 1e3,
+                "p95_ms": _percentile(ordered, 0.95) * 1e3,
+                "speedup": oneshot_time / max(elapsed, 1e-12),
+                "coalesced": scheduler["coalesced"],
+                "executed": scheduler["executed"],
+                "sweeps": scheduler["sweeps"],
+            }
+        record["identical"] = identical
+        # Headline: the 4-worker acceptance configuration.
+        record["speedup"] = record["workers"][headline_workers]["speedup"]
+        agree = agree and identical
+        runs.append(record)
+    return {
+        "title": (
+            "Concurrent serving (Scheduler): mixed request stream vs "
+            "sequential one-shots"
+        ),
+        "agreement": "served ≡ one-shot (bit-identical)" if agree
+        else "DISAGREEMENT",
+        "agree": agree,
+        "runs": runs,
+    }
+
+
 PERF_EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "E2": perf_e2_pqe,
     "E4": perf_e4_bsm,
     "E6": perf_e6_shapley,
     "res": perf_resilience,
     "engine": perf_engine,
+    "serve": perf_serve,
 }
 
 
@@ -496,6 +676,14 @@ def render_perf_summary(document: dict) -> str:
         lines.append(f"== {name}: {experiment['title']} ==")
         for run in experiment["runs"]:
             lines.append(_render_run(run))
+            for workers, entry in run.get("workers", {}).items():
+                lines.append(
+                    f"    {workers} worker(s): {entry['serve_s']:.4f}s  "
+                    f"{entry['throughput_rps']:.0f} req/s  "
+                    f"p50 {entry['p50_ms']:.1f}ms  "
+                    f"p95 {entry['p95_ms']:.1f}ms  "
+                    f"speedup {entry['speedup']:.1f}x"
+                )
         annotation = experiment.get("annotation")
         if annotation is not None:
             lines.append("  -- bulk vs per-fact ψ-annotation (E6 largest) --")

@@ -8,9 +8,10 @@ Commands
 ``bsm``         bag-set maximization (optionally with the repair witness)
 ``shapley``     Shapley (and Banzhaf) values of endogenous facts
 ``resilience``  resilience and an optimal contingency set
+``serve``       concurrent request serving from a JSON request stream
 ``cache``       compiled-plan cache counters (``--clear`` to drop it)
 ``experiments`` regenerate EXPERIMENTS.md tables
-``bench``       scalar-vs-kernel + amortized-session perf suite
+``bench``       scalar-vs-kernel + amortized-session + serving perf suite
 
 The evaluation commands (``pqe``, ``bsm``, ``shapley``, ``resilience``) run
 through the unified engine: each builds an :class:`~repro.engine.Engine`
@@ -127,6 +128,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--witness", action="store_true", help="also print a contingency set"
     )
     _add_kernel_mode_option(res)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a JSON request stream through the concurrent scheduler",
+    )
+    serve.add_argument(
+        "--requests",
+        required=True,
+        help="request-stream JSON file (query + data + requests)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="scheduler worker threads"
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="also print scheduler/session counters",
+    )
+    _add_policy_option(serve)
+    _add_kernel_mode_option(serve)
 
     cache = commands.add_parser(
         "cache", help="compiled-plan cache counters"
@@ -276,6 +296,44 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import Server, load_request_stream
+
+    query, data, requests = load_request_stream(args.requests)
+    if not requests:
+        print("no requests in stream")
+        return 0
+    started = time.perf_counter()
+    with Server(
+        query, engine=_engine_from(args), workers=args.workers, **data
+    ) as server:
+        futures = [server.submit(request) for request in requests]
+        failures = 0
+        for index, (request, future) in enumerate(zip(requests, futures)):
+            try:
+                print(f"[{index}] {request} = {future.result()}")
+            except ReproError as error:
+                failures += 1
+                print(f"[{index}] {request} failed: {error}")
+        elapsed = time.perf_counter() - started
+        stats = server.stats()
+        scheduler_stats = stats["scheduler"]
+        memo = stats["session"]["memo"]
+    print(
+        f"served {len(requests)} requests in {elapsed:.3f}s "
+        f"({len(requests) / max(elapsed, 1e-9):.1f} req/s, "
+        f"{args.workers} workers)"
+    )
+    if args.stats:
+        for key in ("coalesced", "executed", "sweeps", "swept_requests"):
+            print(f"{key}: {scheduler_stats[key]}")
+        print(f"memo_hits: {memo['hits']}")
+        print(f"memo_misses: {memo['misses']}")
+    return 1 if failures else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.clear:
         clear_plan_cache()
@@ -343,6 +401,7 @@ _HANDLERS = {
     "bsm": _cmd_bsm,
     "shapley": _cmd_shapley,
     "resilience": _cmd_resilience,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,

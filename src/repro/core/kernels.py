@@ -48,6 +48,7 @@ for every bundled monoid.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Generic, Iterator, Optional, Sequence
 
@@ -83,9 +84,10 @@ def numpy_or_none():
 def _reset_numpy_probe() -> None:
     """Forget the cached numpy probe (tests re-probe under a blocked import)."""
     global _numpy_module, _ARRAY_REGISTRY_VERSION
-    _numpy_module = _NUMPY_UNRESOLVED
-    # Array kernels close over the probed module; invalidate their caches.
-    _ARRAY_REGISTRY_VERSION += 1
+    with _registry_lock:
+        _numpy_module = _NUMPY_UNRESOLVED
+        # Array kernels close over the probed module; invalidate their caches.
+        _ARRAY_REGISTRY_VERSION += 1
 
 
 class MonoidKernel(Generic[K]):
@@ -208,7 +210,20 @@ class GenericKernel(MonoidKernel[K]):
 # ----------------------------------------------------------------------
 _REGISTRY: dict[type, KernelFactory] = {}
 _REGISTRY_VERSION = 0
-_FORCE_GENERIC = False
+#: Serializes registry mutation (both registries share it: registrations are
+#: rare, lookups are lock-free dict reads).  The serving layer's worker
+#: threads resolve kernels concurrently, so the mutation side must never
+#: leave either mapping in a partially-updated state.
+_registry_lock = threading.RLock()
+#: Per-thread :func:`scalar_kernels` forcing.  Thread-local rather than a
+#: process global so one worker timing the scalar tier never flips another
+#: concurrently-running worker off its batched/columnar tier (and the
+#: restore on block exit cannot race a second thread's save).
+_force_generic = threading.local()
+
+
+def _forced_generic() -> bool:
+    return getattr(_force_generic, "value", False)
 
 
 def register_kernel(monoid_type: type, factory: KernelFactory) -> None:
@@ -220,8 +235,9 @@ def register_kernel(monoid_type: type, factory: KernelFactory) -> None:
     when it overrides ``add``/``mul``.
     """
     global _REGISTRY_VERSION
-    _REGISTRY[monoid_type] = factory
-    _REGISTRY_VERSION += 1
+    with _registry_lock:
+        _REGISTRY[monoid_type] = factory
+        _REGISTRY_VERSION += 1
 
 
 def kernel_for(monoid: TwoMonoid[K]) -> MonoidKernel[K]:
@@ -232,7 +248,7 @@ def kernel_for(monoid: TwoMonoid[K]) -> MonoidKernel[K]:
     registry changes.  Inside a :func:`scalar_kernels` block every monoid
     gets the generic (scalar-dispatch) kernel regardless of registrations.
     """
-    if _FORCE_GENERIC:
+    if _forced_generic():
         return GenericKernel(monoid)
     cached = getattr(monoid, "_kernel_cache", None)
     if cached is not None and cached[0] == _REGISTRY_VERSION:
@@ -256,20 +272,22 @@ def scalar_kernels() -> Iterator[None]:
     """Force the generic scalar kernel everywhere inside the block.
 
     Used by the perf suite to time the scalar baseline on the exact same
-    batched execution path, isolating the kernel contribution.
+    batched execution path, isolating the kernel contribution.  The forcing
+    is **per thread**: ``execute_plan(kernel_mode="scalar")`` enters this
+    block on whichever worker thread runs it, without perturbing the tier
+    of plans executing concurrently on other threads.
     """
-    global _FORCE_GENERIC
-    previous = _FORCE_GENERIC
-    _FORCE_GENERIC = True
+    previous = _forced_generic()
+    _force_generic.value = True
     try:
         yield
     finally:
-        _FORCE_GENERIC = previous
+        _force_generic.value = previous
 
 
 def kernels_forced_scalar() -> bool:
     """True inside a :func:`scalar_kernels` block (for tests/diagnostics)."""
-    return _FORCE_GENERIC
+    return _forced_generic()
 
 
 # ----------------------------------------------------------------------
@@ -382,8 +400,9 @@ def register_array_kernel(
     like :func:`register_kernel`.
     """
     global _ARRAY_REGISTRY_VERSION
-    _ARRAY_REGISTRY[monoid_type] = factory
-    _ARRAY_REGISTRY_VERSION += 1
+    with _registry_lock:
+        _ARRAY_REGISTRY[monoid_type] = factory
+        _ARRAY_REGISTRY_VERSION += 1
 
 
 def array_kernel_for(monoid: TwoMonoid[K]) -> ArrayKernel[K] | None:
@@ -395,7 +414,7 @@ def array_kernel_for(monoid: TwoMonoid[K]) -> ArrayKernel[K] | None:
     declines the instance.  The result is memoized on the monoid instance,
     invalidated when the registry (or the numpy probe) changes.
     """
-    if _FORCE_GENERIC or numpy_or_none() is None:
+    if _forced_generic() or numpy_or_none() is None:
         return None
     cached = getattr(monoid, "_array_kernel_cache", None)
     if cached is not None and cached[0] == _ARRAY_REGISTRY_VERSION:

@@ -19,6 +19,7 @@ bypass the cache (they may be stateful, e.g. the random E10 policies).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Union
@@ -104,6 +105,11 @@ PLAN_CACHE_SIZE = 256
 _plan_cache: "OrderedDict[tuple, Plan]" = OrderedDict()
 _plan_cache_hits = 0
 _plan_cache_misses = 0
+#: Protects the cache mapping, the counters and ``PLAN_CACHE_SIZE``: the
+#: cache is process-wide, and the serving layer compiles plans from many
+#: worker threads at once.  Compilation itself (``eliminate``) runs outside
+#: the lock — only the get/insert/evict bookkeeping is serialized.
+_plan_cache_lock = threading.RLock()
 
 
 def compile_plan(
@@ -141,51 +147,63 @@ def compile_plan(
         else tuple(sorted(relation_sizes.items()))
     )
     key = (query, policy, sizes_key, union_merges)
-    cached = _plan_cache.get(key)
-    if cached is not None:
-        _plan_cache.move_to_end(key)
-        _plan_cache_hits += 1
-        return cached
-    _plan_cache_misses += 1
+    with _plan_cache_lock:
+        cached = _plan_cache.get(key)
+        if cached is not None:
+            _plan_cache.move_to_end(key)
+            _plan_cache_hits += 1
+            return cached
+        _plan_cache_misses += 1
+    # Compile outside the lock: two threads missing on the same key both
+    # compile, but plans are deterministic per key, so last-insert-wins is
+    # harmless and the (potentially expensive) elimination never blocks
+    # other threads' cache hits.
     plan = plan_from_trace(
         eliminate(query, policy, relation_sizes, union_merges)
     )
-    _plan_cache[key] = plan
-    if len(_plan_cache) > PLAN_CACHE_SIZE:
-        _plan_cache.popitem(last=False)
+    with _plan_cache_lock:
+        _plan_cache[key] = plan
+        while len(_plan_cache) > PLAN_CACHE_SIZE:
+            _plan_cache.popitem(last=False)
     return plan
 
 
 def plan_cache_info() -> dict[str, int]:
     """Hit/miss/size counters of the plan cache (for tests and diagnostics)."""
-    return {
-        "hits": _plan_cache_hits,
-        "misses": _plan_cache_misses,
-        "size": len(_plan_cache),
-        "max_size": PLAN_CACHE_SIZE,
-    }
+    with _plan_cache_lock:
+        return {
+            "hits": _plan_cache_hits,
+            "misses": _plan_cache_misses,
+            "size": len(_plan_cache),
+            "max_size": PLAN_CACHE_SIZE,
+        }
 
 
 def clear_plan_cache() -> None:
     """Drop every memoized plan and reset the counters."""
     global _plan_cache_hits, _plan_cache_misses
-    _plan_cache.clear()
-    _plan_cache_hits = 0
-    _plan_cache_misses = 0
+    with _plan_cache_lock:
+        _plan_cache.clear()
+        _plan_cache_hits = 0
+        _plan_cache_misses = 0
 
 
 def set_plan_cache_size(size: int) -> None:
     """Resize the plan cache, evicting oldest entries when shrinking.
 
     The :class:`~repro.engine.engine.Engine` configuration surface for the
-    cache; hit/miss counters are preserved.
+    cache; hit/miss counters are preserved.  Safe against concurrent
+    :func:`compile_plan` calls: the length check and each eviction happen
+    under the cache lock, so the loop can neither pop from an empty cache
+    (``KeyError``) nor evict below the new limit while inserts race it.
     """
     global PLAN_CACHE_SIZE
     if size < 1:
         raise ReproError(f"plan cache size must be positive, got {size}")
-    PLAN_CACHE_SIZE = size
-    while len(_plan_cache) > PLAN_CACHE_SIZE:
-        _plan_cache.popitem(last=False)
+    with _plan_cache_lock:
+        PLAN_CACHE_SIZE = size
+        while len(_plan_cache) > PLAN_CACHE_SIZE:
+            _plan_cache.popitem(last=False)
 
 
 def plan_from_trace(trace: EliminationTrace) -> Plan:

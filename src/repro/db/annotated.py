@@ -37,6 +37,7 @@ invalidates only that relation's view.
 from __future__ import annotations
 
 import math
+import threading
 from operator import itemgetter
 from typing import Callable, Generic, Iterable, Iterator, Mapping, Sequence
 
@@ -94,6 +95,11 @@ class KRelation(Generic[K]):
         #: Mutation counter: bumped by every write so cached columnar views
         #: (see :meth:`KDatabase.columnar_relation`) can detect staleness.
         self._version = 0
+        #: Optional mutation listener installed by an owning
+        #: :class:`KDatabase` when invalidation hooks are registered; called
+        #: (with no arguments) after every version bump.  ``None`` keeps the
+        #: hot write path at a single attribute load.
+        self._on_mutate: Callable[[], None] | None = None
         if annotations:
             for values, annotation in annotations.items():
                 self.set(values, annotation)
@@ -118,6 +124,9 @@ class KRelation(Generic[K]):
             self._annotations.pop(values, None)
         else:
             self._annotations[values] = annotation
+        on_mutate = self._on_mutate
+        if on_mutate is not None:
+            on_mutate()
 
     def bulk_load(
         self,
@@ -152,16 +161,20 @@ class KRelation(Generic[K]):
             self._annotations = _kernel_for(self.monoid).annotate_support(
                 keys, annotations
             )
-            return
-        # Merging into existing support: a zero-annotated key in the batch
-        # must still delete any earlier entry, so replay with set semantics.
-        annotations_dict = self._annotations
-        is_zero = self.monoid.is_zero
-        for values, annotation in dict(zip(keys, annotations)).items():
-            if is_zero(annotation):
-                annotations_dict.pop(values, None)
-            else:
-                annotations_dict[values] = annotation
+        else:
+            # Merging into existing support: a zero-annotated key in the
+            # batch must still delete any earlier entry, so replay with set
+            # semantics.
+            annotations_dict = self._annotations
+            is_zero = self.monoid.is_zero
+            for values, annotation in dict(zip(keys, annotations)).items():
+                if is_zero(annotation):
+                    annotations_dict.pop(values, None)
+                else:
+                    annotations_dict[values] = annotation
+        on_mutate = self._on_mutate
+        if on_mutate is not None:
+            on_mutate()
 
     def copy(self) -> "KRelation[K]":
         """An independent copy (same atom/monoid, cloned support dict)."""
@@ -726,6 +739,14 @@ class KDatabase(Generic[K]):
         # fingerprint): a database whose packing overflowed must not re-pay
         # the failed encode attempt on every execution.
         self._columnar_declined: tuple | None = None
+        # Protects the columnar-view cache, the decline memo and the hook
+        # list: concurrent plan executions over one shared database (the
+        # serving layer) materialize views lazily from worker threads.
+        self._lock = threading.RLock()
+        #: Version-keyed invalidation hooks: ``hook(database, name, version)``
+        #: fires after any mutation of the named relation.  Installed lazily
+        #: onto the relations so the unhooked write path stays free.
+        self._invalidation_hooks: list[Callable[["KDatabase[K]", str, int], None]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -737,6 +758,8 @@ class KDatabase(Generic[K]):
         monoid: TwoMonoid[K],
         facts: Iterable[Fact],
         annotation_of: Callable[[Fact], K],
+        *,
+        columnar: bool = False,
     ) -> "KDatabase[K]":
         """Annotate *facts* with ``annotation_of`` (the ψ of Defs. 5.10/5.15).
 
@@ -744,15 +767,19 @@ class KDatabase(Generic[K]):
         per relation, ψ is computed in one batched kernel pass per group, and
         each relation's support dict is built in one constructor call —
         instead of a per-fact relation lookup and ``set`` dispatch.
+        ``columnar=True`` additionally seeds the array tier's columnar views
+        from the same pass (see :meth:`bulk_annotate`).
         """
         annotated = cls(query, monoid)
-        annotated.bulk_annotate(facts, annotation_of)
+        annotated.bulk_annotate(facts, annotation_of, columnar=columnar)
         return annotated
 
     def bulk_annotate(
         self,
         facts: Iterable[Fact],
         annotation_of: Callable[[Fact], K],
+        *,
+        columnar: bool = False,
     ) -> None:
         """Annotate *facts* in bulk (equivalent to per-fact :meth:`set` calls).
 
@@ -762,6 +789,19 @@ class KDatabase(Generic[K]):
         aligned batch to :meth:`KRelation.bulk_load`.  Raises
         :class:`~repro.exceptions.SchemaError` for facts naming a relation
         the query does not mention, exactly like the per-fact path.
+
+        With ``columnar=True`` (sessions pass it when the engine runs the
+        array tier) and a flat-carrier monoid, each relation's
+        :class:`ColumnarKRelation` view is built **in the same pass, straight
+        from the fact stream** — key columns encoded from the fact tuples and
+        the annotation column packed from the freshly-computed ψ batch — and
+        seeded into the columnar cache, instead of being re-derived later by
+        a second walk over the support dict
+        (:meth:`ColumnarKRelation.from_relation`).  The direct build is only
+        taken when the batch maps one-to-one onto the loaded support (no
+        duplicate keys, no ⊕-identity drops), which is exactly when the two
+        constructions coincide; otherwise the view materializes lazily as
+        before.
         """
         grouped: dict[str, list[Fact]] = {}
         for fact in facts:
@@ -776,9 +816,22 @@ class KDatabase(Generic[K]):
             (self.relation(name), bucket) for name, bucket in grouped.items()
         ]
         kernel = _kernel_for(self.monoid)
+        array_kernel = None
+        if columnar:
+            from repro.core.kernels import array_kernel_for
+
+            array_kernel = array_kernel_for(self.monoid)
         for relation, bucket in resolved:
             annotations = kernel.map_annotations(annotation_of, bucket)
-            relation.bulk_load([fact.values for fact in bucket], annotations)
+            keys = [fact.values for fact in bucket]
+            was_empty = len(relation) == 0
+            relation.bulk_load(keys, annotations)
+            if (
+                array_kernel is not None
+                and was_empty
+                and len(relation) == len(keys)
+            ):
+                self._seed_columnar(relation, array_kernel, keys, annotations)
 
     @classmethod
     def from_database(
@@ -828,32 +881,77 @@ class KDatabase(Generic[K]):
         per-relation by the :class:`KRelation` version counter — a session
         replaying one annotated database across many requests pays the
         dict → column conversion once per relation, not once per run.
+        Thread-safe: the cache (and the shared interner) is only ever read
+        or written under the database lock, so concurrent plan executions
+        over one shared database materialize each view exactly once.
         """
         relation = self.relation(name)
-        if self._columnar_kernel is not kernel:
-            # Registry change or first use: drop views built by another
-            # kernel instance (their annotation dtype may differ).
-            self._columnar.clear()
-            self._columnar_kernel = kernel
-        if self._interner is None:
-            self._interner = _ValueInterner()
-        cached = self._columnar.get(name)
-        if cached is not None and cached[0] == relation._version:
-            return cached[1]
-        view = ColumnarKRelation.from_relation(
-            relation, kernel, self._interner
-        )
-        self._columnar[name] = (relation._version, view)
-        return view
+        with self._lock:
+            if self._columnar_kernel is not kernel:
+                # Registry change or first use: drop views built by another
+                # kernel instance (their annotation dtype may differ).
+                self._columnar.clear()
+                self._columnar_kernel = kernel
+            if self._interner is None:
+                self._interner = _ValueInterner()
+            cached = self._columnar.get(name)
+            if cached is not None and cached[0] == relation._version:
+                return cached[1]
+            view = ColumnarKRelation.from_relation(
+                relation, kernel, self._interner
+            )
+            self._columnar[name] = (relation._version, view)
+            return view
+
+    def _seed_columnar(
+        self,
+        relation: KRelation[K],
+        kernel,
+        keys: Sequence[tuple[Value, ...]],
+        annotations: Sequence[K],
+    ) -> None:
+        """Build and cache a columnar view straight from a bulk ψ batch.
+
+        Called by :meth:`bulk_annotate` only when the batch landed
+        one-to-one in the support dict (so the dict's insertion order is the
+        batch order and the two constructions agree element-for-element).
+        An ``OverflowError`` from the annotation packing records the decline
+        verdict, exactly like a failed lazy materialization.
+        """
+        np = kernel.np
+        name = relation.atom.relation
+        with self._lock:
+            if self._columnar_kernel is not kernel:
+                self._columnar.clear()
+                self._columnar_kernel = kernel
+            if self._interner is None:
+                self._interner = _ValueInterner()
+            count = len(keys)
+            try:
+                columns = tuple(
+                    self._interner.encode_column(
+                        np, (key[position] for key in keys), count
+                    )
+                    for position in range(relation.atom.arity)
+                )
+                packed = kernel.to_array(list(annotations))
+            except OverflowError:
+                self.decline_columnar(kernel)
+                return
+            view = ColumnarKRelation(
+                relation.atom, kernel, columns, packed, self._interner
+            )
+            self._columnar[name] = (relation._version, view)
 
     def columnar_cache_info(self) -> dict[str, int]:
         """Cached-view count and interner size (tests/diagnostics)."""
-        return {
-            "relations": len(self._columnar),
-            "interned_values": (
-                0 if self._interner is None else len(self._interner)
-            ),
-        }
+        with self._lock:
+            return {
+                "relations": len(self._columnar),
+                "interned_values": (
+                    0 if self._interner is None else len(self._interner)
+                ),
+            }
 
     def _version_fingerprint(self) -> int:
         """Strictly increases with any relation mutation (version bumps)."""
@@ -864,9 +962,88 @@ class KDatabase(Generic[K]):
     def columnar_declined(self, kernel) -> bool:
         """Whether a previous columnar materialization with *kernel* failed
         (``OverflowError``) and no relation has mutated since."""
-        return self._columnar_declined == (kernel, self._version_fingerprint())
+        with self._lock:
+            return self._columnar_declined == (
+                kernel, self._version_fingerprint()
+            )
 
     def decline_columnar(self, kernel) -> None:
         """Record a failed columnar materialization (executors call this
         after catching ``OverflowError`` so later runs skip the attempt)."""
-        self._columnar_declined = (kernel, self._version_fingerprint())
+        with self._lock:
+            self._columnar_declined = (kernel, self._version_fingerprint())
+
+    # ------------------------------------------------------------------
+    # Versioned invalidation hooks (the serving layer's eviction signal)
+    # ------------------------------------------------------------------
+    def add_invalidation_hook(
+        self, hook: Callable[["KDatabase[K]", str, int], None]
+    ) -> None:
+        """Register ``hook(database, relation_name, version)`` for mutations.
+
+        The hook fires after every mutation of any relation of this database
+        (per-fact :meth:`KRelation.set` and bulk loads alike), with the
+        relation's post-mutation version — the same counter that keys the
+        columnar-view cache and the session memo fingerprints, so hook
+        consumers can evict exactly the state the mutation staled.  The
+        per-relation listener is installed lazily on the first hook and
+        removed with the last one, keeping the unhooked write path free.
+        Hooks run on the mutating thread and must not mutate the database
+        themselves.
+        """
+        with self._lock:
+            self._invalidation_hooks.append(hook)
+            if len(self._invalidation_hooks) == 1:
+                for name, relation in self._relations.items():
+                    relation._on_mutate = self._make_mutation_listener(
+                        name, relation
+                    )
+
+    def remove_invalidation_hook(
+        self, hook: Callable[["KDatabase[K]", str, int], None]
+    ) -> None:
+        """Unregister a hook added with :meth:`add_invalidation_hook`.
+
+        Unknown hooks are ignored (idempotent removal, so pool teardown
+        never races itself).
+        """
+        with self._lock:
+            try:
+                self._invalidation_hooks.remove(hook)
+            except ValueError:
+                return
+            if not self._invalidation_hooks:
+                for relation in self._relations.values():
+                    relation._on_mutate = None
+
+    def _make_mutation_listener(self, name: str, relation: KRelation[K]):
+        def notify() -> None:
+            with self._lock:
+                hooks = list(self._invalidation_hooks)
+            version = relation._version
+            for hook in hooks:
+                hook(self, name, version)
+
+        return notify
+
+    def relation_version(self, name: str) -> int:
+        """The mutation counter of one relation (see version-keyed caches)."""
+        return self.relation(name)._version
+
+    def restore_relation_version(self, name: str, version: int) -> None:
+        """Reset a relation's version after a mutate-and-restore cycle.
+
+        For callers that flip annotations in place and restore them
+        **bit-identically** (the session Shapley reduction): once the content
+        is back, resetting the counter keeps every version-keyed consumer —
+        columnar views, decline verdicts, memo fingerprints — truthful, so
+        the transient flips do not permanently evict state derived from the
+        restored content.  Any columnar view materialized from the transient
+        content is dropped (its tag no longer matches the restored version).
+        """
+        relation = self.relation(name)
+        with self._lock:
+            relation._version = version
+            cached = self._columnar.get(name)
+            if cached is not None and cached[0] != version:
+                del self._columnar[name]

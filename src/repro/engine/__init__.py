@@ -20,6 +20,16 @@ identical to the session API by construction.
 """
 
 from repro.engine.engine import DEFAULT_MONOID_FACTORIES, Engine
-from repro.engine.session import EngineSession
+from repro.engine.session import (
+    REQUEST_FAMILIES,
+    EngineSession,
+    register_request_family,
+)
 
-__all__ = ["DEFAULT_MONOID_FACTORIES", "Engine", "EngineSession"]
+__all__ = [
+    "DEFAULT_MONOID_FACTORIES",
+    "Engine",
+    "EngineSession",
+    "REQUEST_FAMILIES",
+    "register_request_family",
+]

@@ -4,12 +4,18 @@ A session owns the per-workload state the one-shot front-ends used to rebuild
 on every call:
 
 * the ψ-annotated :class:`~repro.db.annotated.KDatabase` of each problem
-  family (built once via the bulk annotation path, then reused);
+  family (built once via the bulk annotation path, then reused — and, under
+  the array tier, with the columnar views seeded straight from the fact
+  stream);
 * the monoid instances — and therefore their kernels, including the Shapley
   kernel's packed big-int operand caches, which stay warm across every fold
   step and every request the session answers;
 * compiled plans (through the process-wide LRU cache, keyed per policy and
-  per support statistics) and grouped (free-variable) plans.
+  per support statistics) and grouped (free-variable) plans;
+* a **result memo**: :meth:`EngineSession.request` answers repeated requests
+  from a cache keyed by the request signature and the version fingerprint of
+  the annotated state it depends on, so a mutation of the underlying data
+  automatically invalidates exactly the stale entries.
 
 Shapley/Banzhaf values additionally reuse **one** annotated database for all
 ``2·|Dn|`` #Sat runs of the Livshits et al. reduction: instead of building
@@ -17,11 +23,20 @@ the forced/removed instances from scratch per fact, the session flips the
 fact's ψ in place (``★ → 1`` / ``★ → 0``), runs, and restores — bit-identical
 to the one-shot reduction because truncated convolutions agree on every entry
 below the truncation length.
+
+Thread-safety: sessions may be shared across worker threads (the
+:mod:`repro.serve` subsystem pools them).  Cache builds are serialized by a
+session lock — so concurrent requests needing the same ψ-annotation share
+one build — and the Shapley mutate-run-restore cycle holds a dedicated lock
+for its whole duration, serializing every run over the Shapley-annotated
+database with the in-place ψ-flips.  Plain evaluation over the other (never
+mutated) annotated databases runs without any lock held.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from fractions import Fraction
 from typing import Callable, Iterable
 
@@ -48,6 +63,122 @@ from repro.problems.shapley import annotation_psi as _shapley_psi
 from repro.query.atoms import Variable
 from repro.query.bcq import BCQ
 
+RequestHandler = Callable[..., object]
+
+#: The request families :meth:`EngineSession.request` (and therefore the
+#: serving layer) can dispatch: family name → handler called as
+#: ``handler(session, **params)``.  Extend with
+#: :func:`register_request_family`.
+REQUEST_FAMILIES: dict[str, RequestHandler] = {
+    "run": lambda session: session.run(),
+    "pqe": lambda session, exact=False: session.pqe(exact=exact),
+    "expected_count": (
+        lambda session, exact=False: session.expected_count(exact=exact)
+    ),
+    "sat_vector": lambda session: session.sat_vector(),
+    "sat_counts": lambda session: session.sat_counts(),
+    "shapley_value": lambda session, fact: session.shapley_value(fact),
+    "shapley_values": lambda session: session.shapley_values(),
+    "banzhaf_value": lambda session, fact: session.banzhaf_value(fact),
+    "banzhaf_values": lambda session: session.banzhaf_values(),
+    "resilience": lambda session: session.resilience(),
+    "bagset_profile": (
+        lambda session, budget, vector_length=None:
+        session.bagset_profile(budget, vector_length)
+    ),
+    "maximize": lambda session, budget: session.maximize(budget),
+}
+
+
+def register_request_family(family: str, handler: RequestHandler) -> None:
+    """Register (or override) a request family for :meth:`EngineSession.request`.
+
+    *handler* is called as ``handler(session, **params)``.  Results of
+    unknown-to-the-memo families are fingerprinted over the session's whole
+    annotated state, so memoization stays conservative but correct.
+    """
+    REQUEST_FAMILIES[family] = handler
+
+
+#: Sentinel state key: "the bound pre-annotated database" (``annotated=…``).
+_RAW_STATE = object()
+
+#: Handler parameter defaults, for signature canonicalization: a request
+#: spelling a default explicitly (``pqe(exact=False)``) must coalesce and
+#: memo-hit with the bare spelling (``pqe()``).
+_PARAM_DEFAULTS: dict[str, dict[str, object]] = {
+    "pqe": {"exact": False},
+    "expected_count": {"exact": False},
+    "bagset_profile": {"vector_length": None},
+}
+
+
+def canonical_params(family: str, params: dict) -> dict:
+    """Drop parameters that restate the family handler's defaults.
+
+    Used by :meth:`EngineSession.request` and
+    :class:`repro.serve.request.Request` so the memo and the scheduler's
+    single-flight coalescing key on request *semantics*, not spelling.
+    """
+    defaults = _PARAM_DEFAULTS.get(family)
+    if not defaults:
+        return params
+    return {
+        name: value
+        for name, value in params.items()
+        if not (name in defaults and defaults[name] == value)
+    }
+
+
+def _bagset_length(params: dict) -> int:
+    vector_length = params.get("vector_length")
+    budget = params["budget"]
+    return max(
+        vector_length if vector_length is not None else budget + 1, 1
+    )
+
+
+def _shapley_state_keys(_params: dict) -> tuple:
+    return ("shapley",)
+
+
+#: Which annotated-database cache entries a family's answer depends on —
+#: the memo's invalidation granularity.  A family absent here (a custom
+#: registration) is fingerprinted over every annotated database the session
+#: holds.
+_FAMILY_STATE: dict[str, Callable[[dict], tuple]] = {
+    "run": lambda params: (_RAW_STATE,),
+    "pqe": lambda params: (("pqe", bool(params.get("exact", False))),),
+    "expected_count": (
+        lambda params: (("expected_count", bool(params.get("exact", False))),)
+    ),
+    "sat_vector": _shapley_state_keys,
+    "sat_counts": _shapley_state_keys,
+    "shapley_value": _shapley_state_keys,
+    "shapley_values": _shapley_state_keys,
+    "banzhaf_value": _shapley_state_keys,
+    "banzhaf_values": _shapley_state_keys,
+    "resilience": lambda params: ("resilience",),
+    "bagset_profile": lambda params: (("bagset", _bagset_length(params)),),
+    "maximize": lambda params: (("bagset", params["budget"] + 1),),
+}
+
+#: Per-fact / per-slice families answerable from a memoized whole-family
+#: sweep: family → (sweep family, derivation).  The derivation returns
+#: ``None`` when the sweep cannot answer (e.g. a non-endogenous fact), which
+#: falls through to the family's own handler and its error reporting.
+_DERIVED_FROM: dict[str, tuple[str, Callable[[object, dict], object]]] = {
+    "shapley_value": (
+        "shapley_values", lambda sweep, params: sweep.get(params["fact"])
+    ),
+    "banzhaf_value": (
+        "banzhaf_values", lambda sweep, params: sweep.get(params["fact"])
+    ),
+    "sat_counts": (
+        "sat_vector", lambda vector, _params: vector.true_counts
+    ),
+}
+
 
 class EngineSession:
     """Answers many evaluation requests over one query and one database.
@@ -56,7 +187,9 @@ class EngineSession:
     supplies the policy, kernel mode and monoid registry, the session caches
     everything data-dependent.  The bound data sources are treated as
     immutable for the session's lifetime (use :meth:`incremental` for
-    update workloads).
+    update workloads); a bound pre-annotated database (``annotated=…``) may
+    mutate, and the :meth:`request` memo detects that through its version
+    fingerprint.
     """
 
     def __init__(
@@ -80,22 +213,71 @@ class EngineSession:
         self._endogenous = endogenous
         self._repair = repair
         self._raw_annotated = annotated
-        # Reusable state, keyed per problem family / parameters.
+        # Whether annotation builds should seed columnar views eagerly
+        # (see KDatabase.bulk_annotate): exactly when the engine's kernel
+        # mode can select the array tier.
+        self._columnar_builds = engine.kernel_mode in ("auto", "array")
+        # Reusable state, keyed per problem family / parameters.  Everything
+        # below may be *shared* with sibling sessions via
+        # :meth:`share_state_from` (the SessionPool), so all of it is only
+        # touched under ``_lock`` (or ``_shapley_lock`` for the Shapley
+        # mutate-restore cycle).
+        self._lock = threading.RLock()
+        self._shapley_lock = threading.RLock()
+        # Per-cache-key build latches: concurrent requests needing the SAME
+        # ψ-annotation share one build, while different families build in
+        # parallel and memo lookups never block behind a build.
+        self._build_locks: dict[object, threading.Lock] = {}
         self._annotated: dict[object, KDatabase] = {}
         self._monoids: dict[object, TwoMonoid] = {}
         self._grouped_plans: dict[frozenset[Variable], GroupedPlan] = {}
         self._sources: dict[bool, ProbabilisticDatabase] = {}
-        self._shapley_instance: ShapleyInstance | None = None
-        self._resilience_instance: ResilienceInstance | None = None
+        self._instances: dict[str, object] = {}
+        # Result memo: (family, canonical params) → (fingerprint, value).
+        self._results: dict[tuple, tuple[tuple, object]] = {}
+        # Per-fact #Sat pair memo: fact → (fingerprint, (with_f, without_f)).
+        # Shapley AND Banzhaf values of one fact derive from the same two
+        # #Sat runs; caching the pair makes the second attribution free.
+        self._sat_pairs: dict[Fact, tuple[int, tuple]] = {}
         # Work counters (observability; see stats()).
-        self._evaluations = 0
-        self._annotation_builds = 0
+        self._counters = {
+            "evaluations": 0,
+            "annotation_builds": 0,
+            "memo_hits": 0,
+            "memo_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # State sharing (the SessionPool hand-off)
+    # ------------------------------------------------------------------
+    def share_state_from(self, donor: "EngineSession") -> None:
+        """Adopt *donor*'s reusable state so both sessions serve one cache.
+
+        After this call the two sessions share the annotated databases (and
+        therefore their columnar views), monoid instances (and their packed
+        kernel caches), grouped plans, result memo, counters and locks.  The
+        caller must guarantee the sessions are bound to the same query and
+        the same data source objects — :class:`repro.serve.SessionPool` keys
+        its registry on exactly that.
+        """
+        self._lock = donor._lock
+        self._shapley_lock = donor._shapley_lock
+        self._build_locks = donor._build_locks
+        self._annotated = donor._annotated
+        self._monoids = donor._monoids
+        self._grouped_plans = donor._grouped_plans
+        self._sources = donor._sources
+        self._instances = donor._instances
+        self._results = donor._results
+        self._sat_pairs = donor._sat_pairs
+        self._counters = donor._counters
 
     # ------------------------------------------------------------------
     # Shared execution helpers
     # ------------------------------------------------------------------
     def _run(self, annotated: KDatabase, on_step: StepHook | None = None):
-        self._evaluations += 1
+        with self._lock:
+            self._counters["evaluations"] += 1
         plan = compile_for_database(self.query, annotated, self.engine.policy)
         return execute_plan(
             plan,
@@ -104,22 +286,51 @@ class EngineSession:
             kernel_mode=self.engine.kernel_mode,
         ).result
 
+    def _annotate(
+        self,
+        monoid: TwoMonoid,
+        facts: Iterable[Fact],
+        annotation_of: Callable[[Fact], K],
+    ) -> KDatabase:
+        """One ψ-annotation build honoring the engine's columnar seeding."""
+        return KDatabase.annotate(
+            self.query, monoid, facts, annotation_of,
+            columnar=self._columnar_builds,
+        )
+
     def _annotated_for(
         self, key: object, build: Callable[[], KDatabase]
     ) -> KDatabase:
-        annotated = self._annotated.get(key)
-        if annotated is None:
+        # Double-checked per-key latch: the session lock only guards the
+        # dictionaries (briefly); the expensive annotation build runs under
+        # a per-key lock, so identical requests share ONE build while
+        # unrelated families build concurrently.
+        with self._lock:
+            annotated = self._annotated.get(key)
+            if annotated is not None:
+                return annotated
+            build_lock = self._build_locks.get(key)
+            if build_lock is None:
+                build_lock = threading.Lock()
+                self._build_locks[key] = build_lock
+        with build_lock:
+            with self._lock:
+                annotated = self._annotated.get(key)
+                if annotated is not None:
+                    return annotated
             annotated = build()
-            self._annotated[key] = annotated
-            self._annotation_builds += 1
-        return annotated
+            with self._lock:
+                self._annotated[key] = annotated
+                self._counters["annotation_builds"] += 1
+            return annotated
 
     def _monoid_for(self, key: object, family: str, *args, **kwargs):
-        monoid = self._monoids.get(key)
-        if monoid is None:
-            monoid = self.engine.create_monoid(family, *args, **kwargs)
-            self._monoids[key] = monoid
-        return monoid
+        with self._lock:
+            monoid = self._monoids.get(key)
+            if monoid is None:
+                monoid = self.engine.create_monoid(family, *args, **kwargs)
+                self._monoids[key] = monoid
+            return monoid
 
     def _require(self, value, what: str, hint: str):
         if value is None:
@@ -128,6 +339,114 @@ class EngineSession:
                 f"Engine.open(query, {hint})"
             )
         return value
+
+    # ------------------------------------------------------------------
+    # The memoizing request entry point (the serving layer's unit of work)
+    # ------------------------------------------------------------------
+    def _request_fingerprint(self, family: str, params: dict) -> tuple:
+        """Version fingerprint of the annotated state *family* depends on.
+
+        ``None`` entries stand for state not built yet; integer entries are
+        :meth:`KDatabase._version_fingerprint` values, which change with any
+        relation mutation.  Compared on memo lookup, so a mutation of the
+        underlying database evicts exactly the dependent entries.
+        """
+        state_of = _FAMILY_STATE.get(family)
+        if state_of is None:
+            # Unknown (custom) family: conservatively fingerprint every
+            # annotated database the session holds, plus the raw one.
+            keys: tuple = (
+                _RAW_STATE, *sorted(self._annotated, key=repr),
+            )
+        else:
+            keys = state_of(params)
+        parts = []
+        for key in keys:
+            annotated = (
+                self._raw_annotated if key is _RAW_STATE
+                else self._annotated.get(key)
+            )
+            parts.append(
+                None if annotated is None
+                else annotated._version_fingerprint()
+            )
+        return tuple(parts)
+
+    def request(self, family: str, **params):
+        """Serve one request through the session result memo.
+
+        Dispatches to the family's handler (see :data:`REQUEST_FAMILIES`)
+        unless a previous answer for the same ``(family, params)`` signature
+        is still valid — i.e. the version fingerprint of the annotated state
+        the family depends on has not changed since it was computed.  Hits
+        and misses are counted in :meth:`stats`; :meth:`invalidate` drops
+        entries explicitly.  Per-fact families additionally answer from a
+        memoized whole-family sweep (``shapley_value`` from
+        ``shapley_values``, ``banzhaf_value`` from ``banzhaf_values``,
+        ``sat_counts`` from ``sat_vector``) — the scheduler's batching
+        relies on that.  Memoized results are shared objects: treat them as
+        immutable.
+        """
+        handler = REQUEST_FAMILIES.get(family)
+        if handler is None:
+            raise ReproError(
+                f"unknown request family {family!r}; known families: "
+                f"{sorted(REQUEST_FAMILIES)}"
+            )
+        params = canonical_params(family, params)
+        key = (family, tuple(sorted(params.items())))
+        with self._lock:
+            entry = self._results.get(key)
+            if entry is not None:
+                if entry[0] == self._request_fingerprint(family, params):
+                    self._counters["memo_hits"] += 1
+                    return entry[1]
+                del self._results[key]  # stale: underlying versions moved
+            derived = _DERIVED_FROM.get(family)
+            if derived is not None:
+                sweep_family, derive = derived
+                sweep_entry = self._results.get((sweep_family, ()))
+                if sweep_entry is not None and sweep_entry[0] == (
+                    self._request_fingerprint(sweep_family, {})
+                ):
+                    value = derive(sweep_entry[1], params)
+                    if value is not None:
+                        self._counters["memo_hits"] += 1
+                        self._results[key] = (
+                            self._request_fingerprint(family, params), value
+                        )
+                        return value
+            self._counters["memo_misses"] += 1
+            before = self._request_fingerprint(family, params)
+        value = handler(self, **params)
+        with self._lock:
+            after = self._request_fingerprint(family, params)
+            # Store only when the dependent state did not move underneath
+            # the execution: a ``None`` component may become a fingerprint
+            # (the handler built that state itself), but a changed
+            # fingerprint means a concurrent mutation — memoizing then
+            # would pin a possibly-stale value under the new fingerprint.
+            if len(before) == len(after) and all(
+                old is None or old == new
+                for old, new in zip(before, after)
+            ):
+                self._results[key] = (after, value)
+        return value
+
+    def invalidate(self, family: str | None = None) -> None:
+        """Drop memoized request results (all, or one family's).
+
+        Stale entries are also evicted automatically on lookup when the
+        underlying :class:`~repro.db.annotated.KRelation` versions changed;
+        this is the explicit override for out-of-band invalidation (the
+        SessionPool wires it to database mutation hooks).
+        """
+        with self._lock:
+            if family is None:
+                self._results.clear()
+            else:
+                for key in [k for k in self._results if k[0] == family]:
+                    del self._results[key]
 
     # ------------------------------------------------------------------
     # Raw Algorithm 1 (pre-annotated databases)
@@ -154,11 +473,12 @@ class EngineSession:
         reuse by later identical requests.
         """
         def build() -> KDatabase:
-            return KDatabase.annotate(self.query, monoid, facts, annotation_of)
+            return self._annotate(monoid, facts, annotation_of)
 
         if cache_key is None:
             annotated = build()
-            self._annotation_builds += 1
+            with self._lock:
+                self._counters["annotation_builds"] += 1
         else:
             annotated = self._annotated_for(cache_key, build)
         return self._run(annotated)
@@ -167,14 +487,17 @@ class EngineSession:
     # PQE / expected answer count (probabilistic databases)
     # ------------------------------------------------------------------
     def _probability_source(self, exact: bool) -> ProbabilisticDatabase:
-        source = self._sources.get(exact)
-        if source is None:
-            base = self._require(
-                self._probabilistic, "probabilistic database", "probabilistic=…"
-            )
-            source = base.as_exact() if exact else base
-            self._sources[exact] = source
-        return source
+        with self._lock:
+            source = self._sources.get(exact)
+            if source is None:
+                base = self._require(
+                    self._probabilistic,
+                    "probabilistic database",
+                    "probabilistic=…",
+                )
+                source = base.as_exact() if exact else base
+                self._sources[exact] = source
+            return source
 
     def pqe(self, exact: bool = False):
         """Marginal probability of the query (Theorem 5.8)."""
@@ -184,8 +507,7 @@ class EngineSession:
         )
         annotated = self._annotated_for(
             ("pqe", exact),
-            lambda: KDatabase.annotate(
-                self.query,
+            lambda: self._annotate(
                 monoid,
                 source.facts(),
                 lambda fact: monoid.validate(source.probability(fact)),
@@ -201,8 +523,7 @@ class EngineSession:
         )
         annotated = self._annotated_for(
             ("expected_count", exact),
-            lambda: KDatabase.annotate(
-                self.query,
+            lambda: self._annotate(
                 semiring,
                 source.facts(),
                 lambda fact: semiring.validate(source.probability(fact)),
@@ -215,17 +536,19 @@ class EngineSession:
     # ------------------------------------------------------------------
     def shapley_instance(self) -> ShapleyInstance:
         """The bound Definition 5.12 split (validated against the query)."""
-        if self._shapley_instance is None:
-            endogenous = self._require(
-                self._endogenous, "endogenous database", "endogenous=…"
-            )
-            instance = ShapleyInstance(
-                exogenous=self._exogenous or Database(),
-                endogenous=endogenous,
-            )
-            instance.validate_against(self.query)
-            self._shapley_instance = instance
-        return self._shapley_instance
+        with self._lock:
+            instance = self._instances.get("shapley")
+            if instance is None:
+                endogenous = self._require(
+                    self._endogenous, "endogenous database", "endogenous=…"
+                )
+                instance = ShapleyInstance(
+                    exogenous=self._exogenous or Database(),
+                    endogenous=endogenous,
+                )
+                instance.validate_against(self.query)
+                self._instances["shapley"] = instance
+            return instance
 
     def _shapley_state(self):
         instance = self.shapley_instance()
@@ -236,14 +559,17 @@ class EngineSession:
         facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
         annotated = self._annotated_for(
             "shapley",
-            lambda: KDatabase.annotate(self.query, monoid, facts, psi),
+            lambda: self._annotate(monoid, facts, psi),
         )
         return instance, monoid, annotated
 
     def sat_vector(self):
         """The full ``#Sat`` vector (Theorem 5.16)."""
         _instance, _monoid, annotated = self._shapley_state()
-        return self._run(annotated)
+        # Serialized with the _sat_pair ψ-flips: a concurrent per-fact
+        # computation must never observe this run mid-flip (or vice versa).
+        with self._shapley_lock:
+            return self._run(annotated)
 
     def sat_counts(self) -> tuple[int, ...]:
         """``#Sat(k)`` for ``k = 0 .. |Dn|``."""
@@ -257,21 +583,43 @@ class EngineSession:
         The session monoid is one entry longer than the shifted instances
         need (``|Dn|+1`` vs ``|Dn|``); truncated convolutions agree on every
         common entry, so the counts consumed below are bit-identical.
+
+        The whole flip-run-restore cycle holds the Shapley lock, and the
+        relation's version counter is restored along with the annotation:
+        the content ends bit-identical to the start, so version-keyed state
+        (memo fingerprints, columnar views, decline verdicts) derived from
+        it stays valid across the transient flips.
+
+        The pair itself is memoized per fact (validated by the annotated
+        database's version fingerprint): the Shapley value and the Banzhaf
+        index of one fact consume the same two runs, so whichever is asked
+        second pays nothing.
         """
         instance, monoid, annotated = self._shapley_state()
         if fact not in instance.endogenous:
             raise ReproError(
                 f"{fact} is not an endogenous fact of the instance"
             )
-        relation = annotated.relation(fact.relation)
-        original = relation.annotation(fact.values)
-        try:
-            relation.set(fact.values, monoid.one)
-            with_f = self._run(annotated).true_counts
-            relation.set(fact.values, monoid.zero)
-            without_f = self._run(annotated).true_counts
-        finally:
-            relation.set(fact.values, original)
+        name = fact.relation
+        relation = annotated.relation(name)
+        with self._shapley_lock:
+            fingerprint = annotated._version_fingerprint()
+            cached = self._sat_pairs.get(fact)
+            if cached is not None and cached[0] == fingerprint:
+                return cached[1]
+            original = relation.annotation(fact.values)
+            version = annotated.relation_version(name)
+            try:
+                relation.set(fact.values, monoid.one)
+                with_f = self._run(annotated).true_counts
+                relation.set(fact.values, monoid.zero)
+                without_f = self._run(annotated).true_counts
+            finally:
+                relation.set(fact.values, original)
+                annotated.restore_relation_version(name, version)
+            # The restore put the fingerprint back to its entry value, so
+            # the memoized pair is keyed by the state it was computed from.
+            self._sat_pairs[fact] = (fingerprint, (with_f, without_f))
         return with_f, without_f
 
     def shapley_value(self, fact: Fact) -> Fraction:
@@ -318,22 +666,24 @@ class EngineSession:
         treats the plain ``database`` as fully endogenous (the classical
         setting).
         """
-        if self._resilience_instance is None:
-            if self._endogenous is not None:
-                endogenous = self._endogenous
-            else:
-                endogenous = self._require(
-                    self._database,
-                    "database for resilience",
-                    "database=… or endogenous=…",
+        with self._lock:
+            instance = self._instances.get("resilience")
+            if instance is None:
+                if self._endogenous is not None:
+                    endogenous = self._endogenous
+                else:
+                    endogenous = self._require(
+                        self._database,
+                        "database for resilience",
+                        "database=… or endogenous=…",
+                    )
+                instance = ResilienceInstance(
+                    exogenous=self._exogenous or Database(),
+                    endogenous=endogenous,
                 )
-            instance = ResilienceInstance(
-                exogenous=self._exogenous or Database(),
-                endogenous=endogenous,
-            )
-            instance.validate_against(self.query)
-            self._resilience_instance = instance
-        return self._resilience_instance
+                instance.validate_against(self.query)
+                self._instances["resilience"] = instance
+            return instance
 
     def resilience(self):
         """Minimum endogenous deletions falsifying the query (∞ if none)."""
@@ -343,7 +693,7 @@ class EngineSession:
         facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
         annotated = self._annotated_for(
             "resilience",
-            lambda: KDatabase.annotate(self.query, monoid, facts, psi),
+            lambda: self._annotate(monoid, facts, psi),
         )
         return self._run(annotated)
 
@@ -372,7 +722,7 @@ class EngineSession:
         facts = [*instance.database.facts(), *instance.addable_facts()]
         annotated = self._annotated_for(
             ("bagset", length),
-            lambda: KDatabase.annotate(self.query, monoid, facts, psi),
+            lambda: self._annotate(monoid, facts, psi),
         )
         return self._run(annotated)
 
@@ -387,11 +737,12 @@ class EngineSession:
     def grouped_plan(self, free_variables: Iterable[Variable]) -> GroupedPlan:
         """The compiled free-variable plan (memoized per free set)."""
         free = frozenset(free_variables)
-        plan = self._grouped_plans.get(free)
-        if plan is None:
-            plan = compile_grouped_plan(self.query, free)
-            self._grouped_plans[free] = plan
-        return plan
+        with self._lock:
+            plan = self._grouped_plans.get(free)
+            if plan is None:
+                plan = compile_grouped_plan(self.query, free)
+                self._grouped_plans[free] = plan
+            return plan
 
     def grouped(
         self,
@@ -411,8 +762,9 @@ class EngineSession:
                 self._database, "database", "database=…"
             ).facts()
         fn = annotation_of or (lambda _fact: monoid.one)
-        annotated = KDatabase.annotate(self.query, monoid, facts, fn)
-        self._annotation_builds += 1
+        annotated = self._annotate(monoid, facts, fn)
+        with self._lock:
+            self._counters["annotation_builds"] += 1
         return execute_grouped_plan(
             plan, annotated, kernel_mode=self.engine.kernel_mode
         )
@@ -436,8 +788,9 @@ class EngineSession:
                 self._database, "database", "database=…"
             ).facts()
         fn = annotation_of or (lambda _fact: monoid.one)
-        annotated = KDatabase.annotate(self.query, monoid, facts, fn)
-        self._annotation_builds += 1
+        annotated = self._annotate(monoid, facts, fn)
+        with self._lock:
+            self._counters["annotation_builds"] += 1
         return IncrementalEvaluator(
             self.query,
             annotated,
@@ -450,24 +803,30 @@ class EngineSession:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Cached-state sizes and work counters for this session."""
-        annotated_databases = list(self._annotated.values())
-        if self._raw_annotated is not None:
-            annotated_databases.append(self._raw_annotated)
-        info: dict = {
-            "evaluations": self._evaluations,
-            "annotation_builds": self._annotation_builds,
-            "annotated_databases": len(annotated_databases),
-            # Columnar (array-tier) views cached across this session's
-            # requests, summed over the session's annotated databases.
-            "columnar_relations": sum(
-                database.columnar_cache_info()["relations"]
-                for database in annotated_databases
-            ),
-            "monoids": len(self._monoids),
-            "grouped_plans": len(self._grouped_plans),
-            "plan_cache": plan_cache_info(),
-        }
-        shapley = self._monoids.get("shapley")
+        with self._lock:
+            annotated_databases = list(self._annotated.values())
+            if self._raw_annotated is not None:
+                annotated_databases.append(self._raw_annotated)
+            info: dict = {
+                "evaluations": self._counters["evaluations"],
+                "annotation_builds": self._counters["annotation_builds"],
+                "annotated_databases": len(annotated_databases),
+                # Columnar (array-tier) views cached across this session's
+                # requests, summed over the session's annotated databases.
+                "columnar_relations": sum(
+                    database.columnar_cache_info()["relations"]
+                    for database in annotated_databases
+                ),
+                "monoids": len(self._monoids),
+                "grouped_plans": len(self._grouped_plans),
+                "memo": {
+                    "entries": len(self._results),
+                    "hits": self._counters["memo_hits"],
+                    "misses": self._counters["memo_misses"],
+                },
+                "plan_cache": plan_cache_info(),
+            }
+            shapley = self._monoids.get("shapley")
         if shapley is not None:
             from repro.core.kernels import kernel_for
 
@@ -478,13 +837,16 @@ class EngineSession:
         return info
 
     def clear(self) -> None:
-        """Drop every cached annotated database, monoid and grouped plan."""
-        self._annotated.clear()
-        self._monoids.clear()
-        self._grouped_plans.clear()
-        self._sources.clear()
-        self._shapley_instance = None
-        self._resilience_instance = None
+        """Drop every cached annotated database, monoid, plan and result."""
+        with self._lock:
+            self._annotated.clear()
+            self._build_locks.clear()
+            self._monoids.clear()
+            self._grouped_plans.clear()
+            self._sources.clear()
+            self._instances.clear()
+            self._results.clear()
+            self._sat_pairs.clear()
 
     def __repr__(self) -> str:
         bound = [

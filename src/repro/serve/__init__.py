@@ -1,0 +1,38 @@
+"""The concurrent serving subsystem (pooled sessions, scheduler, server).
+
+Layers, bottom-up:
+
+* :class:`~repro.serve.request.Request` — the hashable unit of work: an
+  evaluation family plus canonical parameters;
+* :class:`~repro.serve.pool.SessionPool` — shares one annotated
+  :class:`~repro.db.annotated.KDatabase` bundle (columnar views, packed
+  Shapley kernel state, result memo) across every
+  :class:`~repro.engine.session.EngineSession` bound to the same
+  ``(query, data sources)``, with version-keyed invalidation hooks;
+* :class:`~repro.serve.scheduler.Scheduler` — a thread-safe queue plus
+  worker threads, coalescing duplicate in-flight requests (single-flight)
+  and batching per-fact Shapley/Banzhaf floods into whole-instance sweeps;
+* :class:`~repro.serve.server.Server` — the futures front-end
+  (``submit``/``map``/``close``) binding one serving target, backing the
+  ``repro serve`` CLI and the ``serve`` bench scenario.
+
+Every request is executed through the session's memoizing
+:meth:`~repro.engine.session.EngineSession.request` entry point, so all
+answers are bit-identical to serial one-shot evaluation by construction.
+"""
+
+from repro.serve.io import load_request_stream, request_from_dict
+from repro.serve.pool import SessionPool
+from repro.serve.request import Request
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import Server, serve_requests
+
+__all__ = [
+    "Request",
+    "Scheduler",
+    "Server",
+    "SessionPool",
+    "load_request_stream",
+    "request_from_dict",
+    "serve_requests",
+]

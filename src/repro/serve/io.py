@@ -1,0 +1,105 @@
+"""JSON request streams for ``repro serve --requests FILE``.
+
+One self-contained document describes a serving target and its request
+stream::
+
+    {
+      "query": "Q() :- R(X), S(X, Y)",
+      "data": {
+        "probabilistic": {"facts": [{"relation": "R", "values": [1],
+                                     "probability": 0.5}, ...]},
+        "endogenous": {"relations": {"S": [[1, 2]]}}
+      },
+      "requests": [
+        {"family": "pqe"},
+        {"family": "pqe", "exact": true},
+        {"family": "shapley_value", "fact": {"relation": "S",
+                                             "values": [1, 2]}}
+      ]
+    }
+
+``data`` entries reuse the :mod:`repro.db.io` payload formats
+(``probabilistic`` the TID fact list, everything else the per-relation
+tuple lists).  Request parameters named ``fact`` decode to
+:class:`~repro.db.fact.Fact`; ``values`` inside facts follow JSON
+scalar round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.db.fact import Fact
+from repro.db.io import database_from_dict, probabilistic_from_dict
+from repro.exceptions import SchemaError
+from repro.query.bcq import BCQ
+from repro.query.parser import parse_query
+from repro.serve.request import Request
+
+#: ``data`` keys accepted in a stream document → payload decoder.
+_DATA_LOADERS = {
+    "database": database_from_dict,
+    "repair": database_from_dict,
+    "exogenous": database_from_dict,
+    "endogenous": database_from_dict,
+    "probabilistic": probabilistic_from_dict,
+}
+
+
+def _decode_param(name: str, value: Any) -> Any:
+    if name == "fact":
+        if (
+            not isinstance(value, dict)
+            or "relation" not in value
+            or "values" not in value
+        ):
+            raise SchemaError(
+                f"a 'fact' parameter needs 'relation' and 'values', got "
+                f"{value!r}"
+            )
+        return Fact(value["relation"], tuple(value["values"]))
+    return value
+
+
+def request_from_dict(payload: dict) -> Request:
+    """Decode one request entry (``family`` plus keyword parameters)."""
+    if not isinstance(payload, dict) or "family" not in payload:
+        raise SchemaError(f"request entry needs a 'family' key: {payload!r}")
+    params = {
+        name: _decode_param(name, value)
+        for name, value in payload.items()
+        if name != "family"
+    }
+    return Request.make(payload["family"], **params).validate()
+
+
+def load_request_stream(path: str | Path) -> tuple[BCQ, dict, list[Request]]:
+    """Parse a stream document into ``(query, data sources, requests)``.
+
+    The returned ``data`` mapping plugs straight into
+    :class:`~repro.serve.server.Server` (or ``Engine.open``) as keyword
+    arguments.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "query" not in payload:
+        raise SchemaError("request stream needs a top-level 'query' string")
+    query = parse_query(payload["query"])
+    data_payload = payload.get("data", {})
+    if not isinstance(data_payload, dict):
+        raise SchemaError("'data' must map source names to database payloads")
+    data = {}
+    for name, entry in data_payload.items():
+        loader = _DATA_LOADERS.get(name)
+        if loader is None:
+            raise SchemaError(
+                f"unknown data source {name!r}; expected one of "
+                f"{sorted(_DATA_LOADERS)}"
+            )
+        data[name] = loader(entry)
+    entries = payload.get("requests", [])
+    if not isinstance(entries, list):
+        raise SchemaError("'requests' must be a list of request entries")
+    return query, data, [request_from_dict(entry) for entry in entries]

@@ -1,0 +1,157 @@
+"""SessionPool: shared annotated state for sessions serving the same data.
+
+The 2-monoid framework's serving advantage is that every problem family is
+answered from state derived off **one** database: the ψ-annotated
+:class:`~repro.db.annotated.KDatabase` per family, its cached columnar
+views, and the Shapley kernel's packed big-int operands.  The pool realizes
+that sharing across session handles: every
+:meth:`SessionPool.session` call for the same ``(query, data sources)``
+returns an :class:`~repro.engine.session.EngineSession` wired (via
+:meth:`~repro.engine.session.EngineSession.share_state_from`) to one shared
+cache bundle, so the first request to build an annotation serves every
+later session of that key.
+
+Invalidation: user-supplied pre-annotated databases (``annotated=…``) are
+the one mutable data source a session binds.  The pool registers a
+version-keyed invalidation hook
+(:meth:`~repro.db.annotated.KDatabase.add_invalidation_hook`) on each, so
+any mutation eagerly drops the dependent memoized results — on top of the
+sessions' own lazy fingerprint checks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.db.annotated import KDatabase
+from repro.engine import Engine
+from repro.engine.session import EngineSession
+from repro.query.bcq import BCQ
+
+
+class _PoolEntry:
+    """One shared-state bundle: the canonical session plus bookkeeping."""
+
+    __slots__ = ("canonical", "data", "sessions", "hooks")
+
+    def __init__(self, canonical: EngineSession, data: dict):
+        self.canonical = canonical
+        self.data = data  # strong refs keep the id()-based key stable
+        self.sessions = 1
+        self.hooks: list[tuple[KDatabase, object]] = []
+
+
+class SessionPool:
+    """Pools :class:`EngineSession` state per ``(query, data sources)`` key.
+
+    Data sources are keyed by **object identity**: two sessions share state
+    exactly when they were opened over the same source objects (the paper's
+    serving story — many requests against one database).  The pool holds
+    strong references to pooled sources, so identity keys stay stable for
+    the pool's lifetime.
+
+    Thread-safe: sessions may be requested from any thread, and the handed
+    out sessions are themselves safe to share across worker threads.
+    """
+
+    def __init__(self, engine: Engine | None = None):
+        self.engine = engine or Engine()
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, _PoolEntry] = {}
+
+    def _key(self, query: BCQ, data: dict) -> tuple:
+        return (
+            query,
+            tuple(sorted(
+                (name, id(source)) for name, source in data.items()
+                if source is not None
+            )),
+        )
+
+    def session(self, query: BCQ, **data) -> EngineSession:
+        """A session bound to *query* and *data*, sharing pooled state.
+
+        The first call for a key opens the canonical session; every later
+        call opens a fresh handle and adopts the canonical state, so all of
+        them serve one set of annotated databases, monoids, plans and
+        memoized results.
+        """
+        key = self._key(query, data)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                canonical = self.engine.open(query, **data)
+                entry = _PoolEntry(canonical, dict(data))
+                self._install_hooks(entry)
+                self._entries[key] = entry
+                return canonical
+            entry.sessions += 1
+            session = self.engine.open(query, **entry.data)
+            session.share_state_from(entry.canonical)
+            return session
+
+    def _install_hooks(self, entry: _PoolEntry) -> None:
+        """Version-keyed eviction: mutations of a bound pre-annotated
+        database eagerly invalidate the dependent memoized results."""
+        for source in entry.data.values():
+            if isinstance(source, KDatabase):
+                session = entry.canonical
+
+                def hook(_db, _name, _version, session=session):
+                    session.invalidate()
+
+                source.add_invalidation_hook(hook)
+                entry.hooks.append((source, hook))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop the memoized results of every pooled session."""
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.canonical.invalidate()
+
+    def close(self) -> None:
+        """Unhook every source and drop all pooled state."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            for source, hook in entry.hooks:
+                source.remove_invalidation_hook(hook)
+            entry.hooks.clear()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Pool shape: pooled keys, handed-out sessions, shared-state sizes."""
+        with self._lock:
+            entries = dict(self._entries)
+        return {
+            "entries": len(entries),
+            "sessions": sum(entry.sessions for entry in entries.values()),
+            "keys": [
+                {
+                    "query": str(key[0]),
+                    "sources": [name for name, _ in key[1]],
+                    "sessions": entry.sessions,
+                    "annotated_databases": len(entry.canonical._annotated),
+                    "memo_entries": len(entry.canonical._results),
+                }
+                for key, entry in entries.items()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            count = len(self._entries)
+        return f"SessionPool(entries={count}, engine={self.engine!r})"

@@ -1,0 +1,67 @@
+"""The serving subsystem's unit of work: hashable, coalescable requests.
+
+A :class:`Request` names an evaluation family (one of
+:data:`repro.engine.session.REQUEST_FAMILIES`) and carries its parameters in
+a canonical, hashable form.  Two requests with equal :attr:`signature` are
+interchangeable — the scheduler's single-flight coalescing and the session
+result memo both key on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.session import REQUEST_FAMILIES, canonical_params
+from repro.exceptions import ReproError
+
+Params = tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One evaluation request: a family name plus canonicalized parameters.
+
+    Construct through :meth:`make` (keyword parameters, sorted into the
+    canonical tuple) or directly with a ``params`` tuple; either way the
+    parameters are sorted and explicitly-spelled handler defaults dropped
+    (``pqe(exact=False)`` ≡ ``pqe()``), so equal-semantics requests carry
+    equal signatures.  Instances are frozen and hashable, so they can key
+    queues, in-flight tables and memo dictionaries.
+    """
+
+    family: str
+    params: Params = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        normalized = canonical_params(self.family, dict(self.params))
+        object.__setattr__(
+            self, "params", tuple(sorted(normalized.items()))
+        )
+
+    @classmethod
+    def make(cls, family: str, **params) -> "Request":
+        """``Request.make("shapley_value", fact=f)`` — the ergonomic spelling."""
+        return cls(family, tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> dict[str, object]:
+        """The parameters as keyword arguments for the session handler."""
+        return dict(self.params)
+
+    @property
+    def signature(self) -> tuple:
+        """The coalescing/memo key: requests with equal signatures are one."""
+        return (self.family, self.params)
+
+    def validate(self) -> "Request":
+        """Raise :class:`~repro.exceptions.ReproError` for unknown families."""
+        if self.family not in REQUEST_FAMILIES:
+            raise ReproError(
+                f"unknown request family {self.family!r}; known families: "
+                f"{sorted(REQUEST_FAMILIES)}"
+            )
+        return self
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.family}({inner})"

@@ -1,0 +1,249 @@
+"""Request scheduler: thread-safe queueing, single-flight, sweep batching.
+
+The scheduler turns a stream of :class:`~repro.serve.request.Request`
+objects into session work on a pool of worker threads, with two
+serving-layer optimizations the one-shot front-ends cannot express:
+
+* **single-flight coalescing** — concurrent requests with the same
+  signature against the same session attach to one in-flight execution and
+  all receive its result; the duplicate work is never enqueued (and once a
+  flight completes, later duplicates are answered by the session memo);
+* **sweep batching** — per-fact Shapley/Banzhaf requests pending against
+  one session are claimed together by one worker; when the batch covers
+  enough of the endogenous facts, the worker runs **one**
+  ``shapley_values()``/``banzhaf_values()`` sweep (memoized on the session)
+  and answers every claimed request from it, instead of paying the
+  2-run reduction once per request.  Smaller batches still drain on one
+  worker — per-fact requests serialize on the session's Shapley lock
+  anyway, so claiming them frees the other workers for other families.
+
+Execution itself goes through
+:meth:`~repro.engine.session.EngineSession.request`, so every answer is
+memoized under its signature + database-version fingerprint and stays
+bit-identical to a serial one-shot evaluation (same code path, same fold
+order).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+from repro.engine.session import EngineSession
+from repro.exceptions import ReproError
+from repro.serve.request import Request
+
+#: Per-fact families answerable from one whole-instance sweep.
+_SWEEPS = {
+    "shapley_value": "shapley_values",
+    "banzhaf_value": "banzhaf_values",
+}
+
+_SHUTDOWN = object()
+
+
+class _Flight:
+    """One in-flight signature: the execution every duplicate attaches to."""
+
+    __slots__ = ("session", "request", "futures", "claimed")
+
+    def __init__(self, session: EngineSession, request: Request):
+        self.session = session
+        self.request = request
+        self.futures: list[Future] = []
+        self.claimed = False
+
+
+class Scheduler:
+    """Runs session requests on worker threads with coalescing and batching.
+
+    Parameters
+    ----------
+    workers:
+        Worker-thread count (≥ 1).  Results are independent of the count —
+        the concurrency stress tests assert bit-identical answers against
+        serial evaluation for every tier.
+    """
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ReproError(f"worker count must be positive, got {workers}")
+        self.workers = workers
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._pending: dict[tuple, _Flight] = {}
+        self._closed = False
+        self._submitted = 0
+        self._coalesced = 0
+        self._executed = 0
+        self._sweeps = 0
+        self._swept_requests = 0
+        self._threads = [
+            threading.Thread(
+                target=self._work, name=f"repro-serve-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def submit(self, session: EngineSession, request: Request) -> Future:
+        """Enqueue *request* against *session*; returns a future.
+
+        A request whose signature is already in flight on the same session
+        coalesces onto the existing execution instead of enqueueing.
+        """
+        request.validate()
+        key = (id(session), request.signature)
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise ReproError("scheduler is closed")
+            self._submitted += 1
+            flight = self._pending.get(key)
+            if flight is not None:
+                flight.futures.append(future)
+                self._coalesced += 1
+                return future
+            flight = _Flight(session, request)
+            flight.futures.append(future)
+            self._pending[key] = flight
+            # Enqueue under the lock: close() also sets _closed under it,
+            # so every accepted flight's key is in the queue before the
+            # shutdown sentinels — no future can be left unserved.
+            self._queue.put(key)
+        return future
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        while True:
+            key = self._queue.get()
+            if key is _SHUTDOWN:
+                return
+            with self._lock:
+                flight = self._pending.get(key)
+                if flight is None or flight.claimed:
+                    continue  # already served (or claimed into a batch)
+                flight.claimed = True
+                batch = [(key, flight)]
+                if flight.request.family in _SWEEPS:
+                    for other_key, other in self._pending.items():
+                        if (
+                            other is not flight
+                            and not other.claimed
+                            and other.session is flight.session
+                            and other.request.family == flight.request.family
+                        ):
+                            other.claimed = True
+                            batch.append((other_key, other))
+            self._execute(batch)
+
+    def _sweep_pays(self, session: EngineSession, batch_size: int) -> bool:
+        """Whether one full sweep beats ``batch_size`` per-fact reductions.
+
+        A sweep costs ``2·|Dn|`` runs, the individual requests ``2·k``; the
+        sweep wins outright at ``k ≥ |Dn|/2`` — and additionally leaves the
+        memoized sweep behind for every future per-fact request, which is
+        why the threshold is not simply ``k ≥ |Dn|``.
+        """
+        try:
+            endogenous = session.shapley_instance().endogenous_count
+        except ReproError:
+            return False
+        return 2 * batch_size >= endogenous
+
+    def _execute(self, batch: list[tuple[tuple, _Flight]]) -> None:
+        first = batch[0][1]
+        session = first.session
+        family = first.request.family
+        sweep_family = _SWEEPS.get(family)
+        if (
+            sweep_family is not None
+            and len(batch) >= 2
+            and self._sweep_pays(session, len(batch))
+        ):
+            try:
+                session.request(sweep_family)
+                with self._lock:
+                    self._sweeps += 1
+                    self._swept_requests += len(batch)
+            except Exception:
+                # Per-flight execution below surfaces the error on the
+                # request(s) it actually belongs to.
+                pass
+        outcomes = []
+        for _key, flight in batch:
+            try:
+                outcomes.append(
+                    (flight, session.request(family, **flight.request.kwargs), None)
+                )
+            except BaseException as error:
+                outcomes.append((flight, None, error))
+        with self._lock:
+            self._executed += len(batch)
+            resolved = []
+            for (key, flight), (_f, value, error) in zip(batch, outcomes):
+                if self._pending.get(key) is flight:
+                    del self._pending[key]
+                # Snapshot under the lock: a duplicate submitted after this
+                # point starts a fresh flight (served by the memo).
+                resolved.append((list(flight.futures), value, error))
+        for futures, value, error in resolved:
+            for future in futures:
+                # A future cancelled while queued must be skipped — calling
+                # set_result on it raises InvalidStateError and would kill
+                # this worker thread, stranding every other pending request.
+                # Once this transition succeeds nothing else can cancel it.
+                if not future.set_running_or_notify_cancel():
+                    continue
+                if error is None:
+                    future.set_result(value)
+                else:
+                    future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / observability
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests, drain the queue, join the workers.
+
+        Already-submitted requests are still executed (the shutdown
+        sentinels queue behind them); ``wait=False`` skips the join.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        """Work counters: submissions, coalesced duplicates, sweep batches."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "submitted": self._submitted,
+                "coalesced": self._coalesced,
+                "executed": self._executed,
+                "sweeps": self._sweeps,
+                "swept_requests": self._swept_requests,
+                "pending": len(self._pending),
+            }
+
+    def __repr__(self) -> str:
+        return f"Scheduler(workers={self.workers})"

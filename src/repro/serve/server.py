@@ -1,0 +1,134 @@
+"""Server: the futures front-end over one pooled session and a scheduler.
+
+The ergonomic entry point of the serving subsystem::
+
+    from repro import Engine, Request, Server
+
+    with Server(query, probabilistic=pdb, workers=4) as server:
+        future = server.submit(Request.make("pqe"))
+        answers = server.map([Request.make("pqe"), Request.make("resilience")])
+
+Every server binds **one** ``(query, data sources)`` target through a
+:class:`~repro.serve.pool.SessionPool` (pass ``pool=`` to share annotated
+state between several servers over the same sources) and pushes its
+requests through a :class:`~repro.serve.scheduler.Scheduler`, so duplicate
+in-flight requests execute once, per-fact Shapley/Banzhaf floods collapse
+into sweeps, and repeated requests are served from the session memo.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Iterable, Sequence
+
+from repro.engine import Engine
+from repro.exceptions import ReproError
+from repro.query.bcq import BCQ
+from repro.serve.pool import SessionPool
+from repro.serve.request import Request
+from repro.serve.scheduler import Scheduler
+
+
+class Server:
+    """Concurrent request serving for one query over one set of data sources.
+
+    Parameters
+    ----------
+    query:
+        The SJF-BCQ every request evaluates.
+    engine:
+        Engine configuration (policy, kernel mode); mutually exclusive with
+        *pool*, which already carries one.
+    pool:
+        An existing :class:`SessionPool` to share annotated state with other
+        servers; the server then does **not** close the pool on exit.
+    workers:
+        Scheduler worker-thread count.
+    **data:
+        The session data sources (``database=``, ``probabilistic=``,
+        ``exogenous=``/``endogenous=``, ``repair=``, ``annotated=`` — see
+        :meth:`repro.engine.engine.Engine.open`).
+    """
+
+    def __init__(
+        self,
+        query: BCQ,
+        *,
+        engine: Engine | None = None,
+        pool: SessionPool | None = None,
+        workers: int = 4,
+        **data,
+    ):
+        if pool is not None and engine is not None:
+            raise ReproError(
+                "pass either engine= or pool= (the pool carries its engine)"
+            )
+        self._owns_pool = pool is None
+        self.pool = pool or SessionPool(engine)
+        try:
+            self.session = self.pool.session(query, **data)
+            self.scheduler = Scheduler(workers=workers)
+        except BaseException:
+            # A failed construction (bad workers, bad data sources) must
+            # not leak invalidation hooks onto the caller's databases.
+            if self._owns_pool:
+                self.pool.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Request entry points
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> Future:
+        """Enqueue one request; the future resolves to its answer."""
+        return self.scheduler.submit(self.session, request)
+
+    def map(self, requests: Iterable[Request]) -> list:
+        """Submit *requests* and gather their answers in input order.
+
+        Raises the first failing request's exception (after all submitted
+        work has been enqueued), like ``concurrent.futures`` executors.
+        """
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Lifecycle / observability
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain and stop the scheduler (and a server-owned pool)."""
+        self.scheduler.close()
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Scheduler counters plus the bound session's cache statistics."""
+        return {
+            "scheduler": self.scheduler.stats(),
+            "session": self.session.stats(),
+            "pool": self.pool.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self.session!r}, "
+            f"workers={self.scheduler.workers})"
+        )
+
+
+def serve_requests(
+    query: BCQ,
+    requests: Sequence[Request],
+    *,
+    engine: Engine | None = None,
+    workers: int = 4,
+    **data,
+) -> list:
+    """One-call convenience: serve *requests* and return ordered answers."""
+    with Server(query, engine=engine, workers=workers, **data) as server:
+        return server.map(requests)

@@ -383,7 +383,9 @@ class TestEndToEndSmoke:
         from repro.bench.perf import run_perf_suite
 
         document = run_perf_suite(quick=True, repeats=1)
-        assert set(document["experiments"]) == {"E2", "E4", "E6", "res", "engine"}
+        assert set(document["experiments"]) == {
+            "E2", "E4", "E6", "res", "engine", "serve",
+        }
         for name, experiment in document["experiments"].items():
             assert experiment["agree"], f"{name} kernel/scalar disagreement"
 
