@@ -1,0 +1,255 @@
+"""Batched operations over *packed* vector carriers (the 2-D array tier).
+
+The bag-set maximization and Shapley 2-monoids carry fixed-length vectors —
+monotone multiplicity profiles (Definition 5.9) and degree-indexed ``#Sat``
+polynomials (Definition 5.14).  The columnar execution tier stores a whole
+relation's annotations as **one 2-D array**: one row per support tuple, one
+column per vector slot (Shapley packs its false/true slices along a middle
+axis, giving shape ``(n, 2, w)``).  This module provides the two batched
+shapes every vector carrier needs, dtype-polymorphic over ``int64`` (the
+guarded fast path) and ``object`` (exact Python ints, any magnitude):
+
+* **sliding-window convolutions** — ⊗ (and the Shapley ⊕) are truncated
+  convolutions; instead of an ``O(w²)`` Python loop per *pair*, the batched
+  form runs ``O(w)`` numpy operations over *all aligned row pairs at once*:
+  for each shift ``j`` the window ``lefts[:, j] · rights[:, :w−j]``
+  accumulates (by ``+`` or ``max``) into the output block ``out[:, j:]``;
+* **segmented tree folds** — Rule 1 ⊕-folds contiguous row segments of a
+  sorted annotation array.  Elementwise ``reduceat`` cannot fold a
+  convolution, so the fold halves every segment per round: each round pairs
+  adjacent rows of every segment and combines *all pairs of all segments* in
+  one batched convolution call, finishing in ``O(log max segment)`` rounds.
+
+Everything here is exact: the ⊕/⊗ arithmetic is integer arithmetic, the
+tree re-association is sound because the 2-monoid operations are associative
+and commutative, and the ``int64`` fast path is only taken when an a-priori
+coefficient bound (computed in unbounded Python ints) proves no slot can
+reach the dtype's range — so results are bit-identical to the scalar tier
+at every magnitude.
+"""
+
+from __future__ import annotations
+
+
+class PackedOverflow(Exception):
+    """An int64 packed operation would exceed the dtype's safe range.
+
+    Raised *before* any lossy arithmetic happens (the a-priori coefficient
+    bound failed); callers redo the operation on an exact path — object-dtype
+    rows, or the batched kernel's per-row big-int arithmetic.
+    """
+
+
+#: Values at or below this bound are storable in an int64 slot with headroom
+#: for one addition (totals slices sum two stored values) — the invariant
+#: every int64 packed row maintains.
+INT64_SAFE = 2**62 - 1
+
+
+def max_value(np, rows) -> int:
+    """The largest entry of *rows* as an unbounded Python int (0 if empty)."""
+    if rows.size == 0:
+        return 0
+    peak = rows.max()
+    return int(peak)
+
+
+#: Largest ``rows × out-slots × in-slots`` product the window form of
+#: :func:`max_conv` may materialize; bigger workloads use the shift loop.
+WINDOW_CAP = 1 << 23
+
+#: Left-operand width above which the per-shift loop beats the window form
+#: (the window form's work grows with ``w₁`` per output slot; the loop's
+#: only with the true pair count).
+_WINDOW_WIDTH_CAP = 128
+
+
+def _windows(np, lefts, rights, width, pad_value=0):
+    """Reversed left operand + sliding right windows for the window form.
+
+    Pads the right operand by ``w₁ − 1`` *pad_value* slots on both sides so
+    that ``windows[r, i, k] = rights_padded[r, i + k]`` pairs output slot
+    ``i`` with ``lefts[r, w₁−1−k]`` — the convolution index transform —
+    with out-of-range pairs reading the padding (the reduction's identity:
+    0 for Σ and for max-of-products over naturals, a large-negative
+    sentinel for max-of-sums).  Only views are created beyond the single
+    padded copy.
+    """
+    n, w1 = lefts.shape[0], lefts.shape[-1]
+    padded = np.full(
+        (n, rights.shape[-1] + 2 * (w1 - 1)), pad_value, rights.dtype
+    )
+    if w1 > 1:
+        padded[:, w1 - 1 : 1 - w1] = rights
+    else:
+        padded[:] = rights
+    reversed_lefts = lefts[:, ::-1]
+    row_stride, slot_stride = padded.strides
+    # Raw as_strided beats sliding_window_view's validation overhead; the
+    # view is read-only downstream and stays inside the padded buffer
+    # (width + w1 − 1 ≤ padded columns by construction).
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, width, w1),
+        strides=(row_stride, slot_stride, slot_stride),
+    )
+    return reversed_lefts, windows
+
+
+def sum_conv(np, lefts, rights, length):
+    """Batched truncated ``(+, ×)`` convolution along the last axis.
+
+    ``out[r, i] = Σ_{j+k=i} lefts[r, j] · rights[r, k]`` truncated to
+    *length* slots — the Definition 5.14 polynomial product, over every
+    aligned row pair at once.  int64 workloads run as **one** ``einsum``
+    over sliding windows of the zero-padded right operand (the padding is
+    the additive identity, so out-of-range pairs contribute nothing):
+    three C-level calls regardless of width.  Exact ``object`` workloads
+    use the sliding-shift loop — ``O(width)`` vectorized
+    multiply-accumulates over Python ints, exact at any magnitude.
+    """
+    n = lefts.shape[0]
+    w1, w2 = lefts.shape[-1], rights.shape[-1]
+    width = min(w1 + w2 - 1, length)
+    dtype = np.promote_types(lefts.dtype, rights.dtype)
+    if n == 0:
+        return np.zeros((n, width), dtype=dtype)
+    if dtype != object and w1 <= _WINDOW_WIDTH_CAP:
+        reversed_lefts, windows = _windows(np, lefts, rights, width)
+        return np.einsum("nk,nik->ni", reversed_lefts, windows)
+    out = np.zeros((n, width), dtype=dtype)
+    for shift in range(min(w1, width)):
+        span = min(w2, width - shift)
+        out[:, shift : shift + span] += (
+            lefts[:, shift : shift + 1] * rights[:, :span]
+        )
+    return out
+
+
+def max_conv(np, lefts, rights, length, product):
+    """Batched truncated ``(max, ·)`` convolution along the last axis.
+
+    ``out[r, i] = max_{j+k=i} lefts[r, j] ∘ rights[r, k]`` where ``∘`` is
+    ``+`` (Eq. 10, the bag-set ⊕) or ``×`` (Eq. 11, the bag-set ⊗) —
+    *product* is ``np.add`` or ``np.multiply``.  Both operands must already
+    span the full truncation *length* (bag-set vectors are never trimmed:
+    monotonicity makes every slot meaningful).  int64 workloads build the
+    sliding windows of :func:`sum_conv` once, apply *product* and
+    max-reduce; ``object`` (or very large) workloads use the shift loop.
+
+    Padding: out-of-range pairs must lose every max.  Products of naturals
+    pad with 0 (``l · 0 = 0`` never beats an in-range candidate — slot 0 is
+    always in range and all values are ≥ 0); sums pad with ``−2⁶²``
+    (``l − 2⁶² < 0`` with no int64 wrap, since stored values stay inside
+    the guarded range).  Genuine in-range zeros read identically either
+    way.
+    """
+    n = lefts.shape[0]
+    width = min(lefts.shape[-1], length)
+    if (
+        n
+        and lefts.dtype != object
+        and rights.dtype != object
+        and n * width * width <= WINDOW_CAP
+    ):
+        pad_value = 0 if product is np.multiply else -(2**62)
+        reversed_lefts, windows = _windows(
+            np, lefts[:, :width], rights[:, :width], width, pad_value
+        )
+        return product(reversed_lefts[:, None, :], windows).max(axis=2)
+    out = product(lefts[:, :1], rights[:, :width])
+    if n == 0:
+        return out
+    for shift in range(1, width):
+        span = width - shift
+        contribution = product(
+            lefts[:, shift : shift + 1], rights[:, :span]
+        )
+        np.maximum(out[:, shift:], contribution, out=out[:, shift:])
+    return out
+
+
+def pad_rows(np, rows, width):
+    """Zero-pad the last axis of *rows* to *width* (no-op when wide enough).
+
+    Sound only for carriers whose trailing slots are implicit zeros (the
+    trimmed Shapley polynomials); bag-set rows always span the truncation
+    length and never pad.
+    """
+    if rows.shape[-1] >= width:
+        return rows
+    shape = rows.shape[:-1] + (width,)
+    out = np.zeros(shape, dtype=rows.dtype)
+    out[..., : rows.shape[-1]] = rows
+    return out
+
+
+def fold_segments(np, rows, starts, combine, pad, fallback=None):
+    """⊕-fold contiguous row segments of *rows* via batched halving.
+
+    *starts* (``intp``, strictly increasing, ``starts[0] == 0``) marks each
+    segment's first row; the last segment runs to the end.  Returns one row
+    per segment, in segment order.  Each round pairs adjacent rows within
+    every segment and hands **all pairs of all segments** to *combine* in a
+    single call (one batched convolution), so a fold of ``n`` rows costs
+    ``O(log max segment)`` batched operations instead of ``n`` scalar ones.
+    *pad(rows, width)* right-pads carried-over odd rows to the combined
+    width.  Requires ⊕ associative and commutative with exact arithmetic
+    (both vector carriers qualify), under which any association order is
+    value-identical to the scalar left fold.
+
+    When *combine* raises :class:`PackedOverflow`, *fallback(rows, starts)*
+    finishes the fold from the **current** partially-folded state (fewer,
+    wider rows — the cheap int64 rounds already done are kept) and its
+    result is returned; without a fallback the overflow propagates.
+    """
+    n = rows.shape[0]
+    if n == 0 or starts.shape[0] == 0:
+        return rows
+    if starts.shape[0] == 1:
+        # One segment (the terminal fold of a plan): adjacent pairs are
+        # plain strided slices, no per-segment index bookkeeping needed.
+        while n > 1:
+            try:
+                combined = combine(rows[0 : n - 1 : 2], rows[1:n:2])
+            except PackedOverflow:
+                if fallback is None:
+                    raise
+                return fallback(rows, starts)
+            if n & 1:
+                leftover = pad(rows[n - 1 :], combined.shape[-1])
+                combined = np.concatenate([combined, leftover])
+            rows, n = combined, combined.shape[0]
+        return rows
+    counts = np.diff(np.append(starts, n))
+    segments = np.arange(counts.shape[0])
+    while int(counts.max()) > 1:
+        pairs = counts >> 1
+        odd = counts & 1
+        total_pairs = int(pairs.sum())
+        segment_of_pair = np.repeat(segments, pairs)
+        rank = np.arange(total_pairs) - np.repeat(
+            np.cumsum(pairs) - pairs, pairs
+        )
+        left_rows = starts[segment_of_pair] + 2 * rank
+        try:
+            combined = combine(rows[left_rows], rows[left_rows + 1])
+        except PackedOverflow:
+            if fallback is None:
+                raise
+            return fallback(rows, starts)
+        new_counts = pairs + odd
+        new_starts = np.cumsum(new_counts) - new_counts
+        out = np.empty(
+            (int(new_counts.sum()),) + combined.shape[1:],
+            dtype=combined.dtype,
+        )
+        out[new_starts[segment_of_pair] + rank] = combined
+        leftover = np.flatnonzero(odd)
+        if leftover.size:
+            out[new_starts[leftover] + pairs[leftover]] = pad(
+                rows[starts[leftover] + counts[leftover] - 1],
+                combined.shape[-1],
+            )
+        rows, starts, counts = out, new_starts, new_counts
+    return rows

@@ -22,11 +22,25 @@ Rule 2 merge, not only on both.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.algebra.base import TwoMonoid
-from repro.core.kernels import MonoidKernel, register_kernel
+from repro.algebra.packed import (
+    INT64_SAFE,
+    PackedOverflow,
+    fold_segments,
+    max_value,
+    sum_conv,
+)
+from repro.core.kernels import (
+    MonoidKernel,
+    VectorArrayKernel,
+    kernel_for,
+    register_array_kernel,
+    register_kernel,
+)
 from repro.exceptions import AlgebraError
 
 
@@ -523,3 +537,229 @@ class ShapleyKernel(MonoidKernel[SatVector]):
 
 
 register_kernel(ShapleyMonoid, ShapleyKernel)
+
+
+class ShapleyArrayKernel(VectorArrayKernel):
+    """Packed columnar ``#Sat`` polynomials: ``(n, 2, w)`` rows with a
+    guarded int64 fast path and the Kronecker kernel as exact fallback.
+
+    A relation's annotations live in one 3-D array — one row per support
+    tuple, the false/true slices along the middle axis, and one column per
+    degree slot, **trimmed** to the highest degree any row uses (ψ-spikes
+    are 2-term polynomials inside length-(|Dn|+1) vectors, so input
+    relations pack to width 2, and widths only grow as convolutions
+    genuinely need them).
+
+    Both operations use the marginal identity of :class:`ShapleyKernel` —
+    compute the totals convolution and one flag slice, recover the other by
+    subtraction — so each batched ⊕/⊗ is **two** sliding-window
+    convolutions (:func:`repro.algebra.packed.sum_conv`) over all aligned
+    rows at once.  The int64 path is taken only when an a-priori coefficient
+    bound (``min(w₁, w₂) · max(left) · max(right)``, evaluated in unbounded
+    Python ints) stays inside the guarded range; otherwise the operation
+    falls back to the **batched Shapley kernel** row by row — the
+    Kronecker-substitution big-int multiply with its packed-operand /
+    totals / product reuse caches — and re-packs the result (returning to
+    int64 whenever coefficients shrink back).  ``#Sat`` counts reach
+    ``C(|Dn|, k)`` magnitudes, so the exact leg is routinely exercised by
+    the final ⊕-fold; either way every value is an exact integer and the
+    tier is bit-identical to the scalar path.
+    """
+
+    def __init__(self, monoid: ShapleyMonoid, np):
+        super().__init__(monoid, np)
+        self._length = monoid.length
+        self.dtype = np.int64
+        # The registered batched kernel — shared through kernel_for's
+        # per-monoid memo, so the exact fallback reuses the same warm
+        # packed-operand caches as the batched tier.
+        self._batched = kernel_for(monoid)
+
+    # -- conversion ----------------------------------------------------
+    def to_array(self, annotations):
+        np = self.np
+        if not len(annotations):
+            return np.empty((0, 2, 1), dtype=np.int64)
+        widest = max(vector.length for vector in annotations)
+        rows = [
+            (
+                vector.false_counts + (0,) * (widest - vector.length),
+                vector.true_counts + (0,) * (widest - vector.length),
+            )
+            if vector.length != widest
+            else (vector.false_counts, vector.true_counts)
+            for vector in annotations
+        ]
+        try:
+            packed = np.array(rows, dtype=np.int64)
+            if int(packed.max()) > INT64_SAFE:
+                packed = np.array(rows, dtype=object)
+        except OverflowError:  # coefficients beyond int64: exact rows
+            packed = np.array(rows, dtype=object)
+        used = np.flatnonzero((packed != 0).any(axis=(0, 1)))
+        width = int(used[-1]) + 1 if used.size else 1
+        if width < packed.shape[-1]:
+            packed = packed[:, :, :width].copy()
+        return packed
+
+    def to_scalar(self, value) -> SatVector:
+        false_counts, true_counts = value.tolist()
+        padding = (0,) * (self._length - len(false_counts))
+        return SatVector(
+            tuple(false_counts) + padding, tuple(true_counts) + padding
+        )
+
+    def to_scalars(self, column) -> list:
+        padding = (0,) * (self._length - column.shape[-1])
+        return [
+            SatVector(tuple(false) + padding, tuple(true) + padding)
+            for false, true in column.tolist()
+        ]
+
+    def _trimmed_scalars(self, column) -> list:
+        """Decode rows *without* padding to the truncation length.
+
+        The exact-fallback legs hand these straight to the batched kernel,
+        whose convolutions accept operands of any degree — trailing zeros
+        would only inflate the packing work.  Public decodes
+        (:meth:`to_scalars`/:meth:`to_scalar`) always pad: stored carriers
+        must satisfy the monoid's length check.
+        """
+        return [
+            SatVector(tuple(false), tuple(true))
+            for false, true in column.tolist()
+        ]
+
+    def zero_row(self, width):
+        row = self.np.zeros((2, width), dtype=self.np.int64)
+        row[0, 0] = 1  # the 0-spike: only the empty subset, evaluating false
+        return row
+
+    def zero_mask(self, column):
+        return (column == self.zero_row(column.shape[-1])).all(axis=(1, 2))
+
+    # -- the guarded int64 convolution path ----------------------------
+    def _convolve_rows(self, lefts, rights, true_slice: bool):
+        """One batched Eq. 15/16 application, or :class:`PackedOverflow`.
+
+        *true_slice* picks which flag slice convolves directly (the true
+        slices for ⊗, the false slices for ⊕); the other one is recovered
+        from the totals by exact subtraction.
+        """
+        np = self.np
+        if lefts.dtype == object or rights.dtype == object:
+            raise PackedOverflow
+        n1, n2 = lefts.shape[-1], rights.shape[-1]
+        totals_left = lefts[:, 0, :] + lefts[:, 1, :]
+        totals_right = rights[:, 0, :] + rights[:, 1, :]
+        bound = (
+            min(n1, n2)
+            * max_value(np, totals_left)
+            * max_value(np, totals_right)
+        )
+        if bound > INT64_SAFE:
+            raise PackedOverflow
+        totals = sum_conv(np, totals_left, totals_right, self._length)
+        index = 1 if true_slice else 0
+        direct = sum_conv(
+            np, lefts[:, index, :], rights[:, index, :], self._length
+        )
+        other = totals - direct
+        slices = (other, direct) if true_slice else (direct, other)
+        return np.stack(slices, axis=1)
+
+    def _decode_groups(self, annotations, starts):
+        scalars = self._trimmed_scalars(annotations)
+        edges = [int(start) for start in starts] + [len(scalars)]
+        return [
+            scalars[first:last] for first, last in zip(edges, edges[1:])
+        ]
+
+    def _spike_fold_groups(self, annotations, starts):
+        """Closed-form ⊕-fold when every row is a ψ-spike (``0``/``1``/``★``).
+
+        The Definition 5.15 ψ maps every fact to a distinguished spike, so
+        input-relation folds reduce to *counting*: two **per-slot**
+        ``add.reduceat`` passes count the ``1``s and ``★``s per group, and
+        the fold of ``b`` stars (plus any ``1``) is the binomial row
+        ``C(b, i)`` — exactly :meth:`ShapleyKernel._spike_fold`, built here
+        for all groups at once by a vectorized Pascal recurrence
+        (``C(b, i) = C(b, i−1)·(b−i+1)/i``, exact in int64 under the
+        a-priori bound).  Returns ``None`` when some row is not a spike or
+        the binomials could leave the guarded range (the convolution fold
+        takes over).
+        """
+        np = self.np
+        width = annotations.shape[-1]
+        if annotations.dtype == object or width > 2:
+            return None  # spikes pack to ≤ 2 slots; wider rows ⇒ not spikes
+        length = self._length
+        zero_row = self.zero_row(width)
+        one_row = np.zeros((2, width), dtype=np.int64)
+        one_row[1, 0] = 1
+        is_zero = (annotations == zero_row).all(axis=(1, 2))
+        is_one = (annotations == one_row).all(axis=(1, 2))
+        if width == 2 and length > 1:
+            star_row = np.zeros((2, width), dtype=np.int64)
+            star_row[0, 0] = 1
+            star_row[1, 1] = 1
+            is_star = (annotations == star_row).all(axis=(1, 2))
+        else:
+            is_star = np.zeros(annotations.shape[0], dtype=bool)
+        if not (is_zero | is_one | is_star).all():
+            return None
+        ones = np.add.reduceat(is_one.astype(np.int64), starts)
+        stars = np.add.reduceat(is_star.astype(np.int64), starts)
+        max_stars = int(stars.max())
+        out_width = min(max_stars, length - 1) + 1
+        bound = math.comb(max_stars, min(out_width - 1, max_stars // 2))
+        if bound * out_width > INT64_SAFE:
+            return None
+        groups = stars.shape[0]
+        true_rows = np.zeros((groups, out_width), dtype=np.int64)
+        true_rows[:, 0] = 1
+        for index in range(1, out_width):
+            true_rows[:, index] = (
+                true_rows[:, index - 1]
+                * np.maximum(stars - index + 1, 0)
+                // index
+            )
+        has_one = ones > 0
+        false_rows = np.zeros((groups, out_width), dtype=np.int64)
+        false_rows[:, 0] = ~has_one  # the 0-spike of one-less groups
+        true_rows[:, 0] = has_one  # C(b, 0) counts only when a 1 is present
+        return np.stack([false_rows, true_rows], axis=1)
+
+    # -- the two batched operations ------------------------------------
+    def fold_groups(self, annotations, starts):
+        np = self.np
+        if annotations.shape[0]:
+            folded = self._spike_fold_groups(annotations, starts)
+            if folded is not None:
+                return folded
+
+        def combine(lefts, rights):
+            return self._convolve_rows(lefts, rights, true_slice=False)
+
+        def exact_fold(rows, segment_starts):
+            # Coefficients left the guarded int64 range: finish from the
+            # partially-folded rows through the Kronecker kernel (and its
+            # warm packed-operand caches), one group at a time.
+            groups = self._decode_groups(rows, segment_starts)
+            return self.to_array(self._batched.fold_add(groups))
+
+        return fold_segments(
+            np, annotations, starts, combine, self.pad_rows, exact_fold
+        )
+
+    def mul_arrays(self, lefts, rights):
+        try:
+            return self._convolve_rows(lefts, rights, true_slice=True)
+        except PackedOverflow:
+            products = self._batched.mul_aligned(
+                self._trimmed_scalars(lefts), self._trimmed_scalars(rights)
+            )
+            return self.to_array(products)
+
+
+register_array_kernel(ShapleyMonoid, ShapleyArrayKernel)

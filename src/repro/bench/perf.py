@@ -6,9 +6,11 @@ Two kinds of measurements:
   experiments (E2 PQE, E4 bag-set maximization, E6 Shapley ``#Sat``, and
   the ``res`` resilience stream) once per execution tier and configuration:
   the per-tuple scalar baseline (``kernel_mode="scalar"``), the batched
-  kernel engine (``kernel_mode="batched"``), and — for flat-carrier monoids
-  with numpy installed — the columnar array tier (``kernel_mode="array"``),
-  asserting answer agreement across all tiers.  Array timings run against
+  kernel engine (``kernel_mode="batched"``), and — with numpy installed —
+  the columnar array tier (``kernel_mode="array"``): scalar columns for the
+  flat carriers of E2/``res``, **packed 2-D vector rows** for the bag-set
+  and Shapley carriers of E4/E6, asserting answer agreement across all
+  tiers (bit-identical for the exact carriers).  Array timings run against
   the cached columnar views (the session serving story): the dict → column
   materialization is paid on the first run and amortized thereafter, which
   best-of-N timing reflects.
@@ -61,8 +63,10 @@ from repro.workloads.generators import (
 #: Format version of the BENCH_perf.json document.  v3 added the ``tiers``
 #: and ``environment`` fields plus per-run ``array_s``/``array_vs_kernel``;
 #: v4 added the ``serve`` scenario (scheduler throughput and p50/p95
-#: latency per worker count, one run per execution tier).
-SCHEMA_VERSION = 4
+#: latency per worker count, one run per execution tier); v5 extends the
+#: three-way scalar/batched/array runs to the vector-carrier experiments
+#: (E4 bag-set, E6 Shapley) served by the packed columnar tier.
+SCHEMA_VERSION = 5
 
 
 def environment_metadata() -> dict:
@@ -162,7 +166,12 @@ def perf_e2_pqe(quick: bool = False, repeats: int = 3) -> dict:
 
 
 def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
-    """E4: bag-set maximization — exact vectors, identity check."""
+    """E4: bag-set maximization — exact vectors, identity check.
+
+    The array leg runs the packed columnar tier: ``(n, θ+1)`` int64 rows
+    with batched sliding-window (max, ·) convolutions, bit-identical to
+    the batched kernels at every magnitude.
+    """
     sizes = (100,) if quick else (200, 400, 800, 1600)
     repeats = 1 if quick else repeats
     query = star_query(2)
@@ -199,7 +208,14 @@ def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
 
 
 def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
-    """E6: the Shapley ``#Sat`` vector — exact big-int vectors."""
+    """E6: the Shapley ``#Sat`` vector — exact big-int vectors.
+
+    The array leg runs the packed columnar tier: trimmed ``(n, 2, w)``
+    rows, ψ-spike folds by per-slot ``reduceat`` counting, guarded int64
+    sliding-window convolutions, and the Kronecker kernel (with its
+    packed-operand caches) as the exact big-int fallback — bit-identical
+    to the batched tier.
+    """
     from repro.bench.experiments import _split_instance
 
     sizes = (12, 24) if quick else (16, 32, 64, 128, 256)

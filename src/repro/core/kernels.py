@@ -30,20 +30,40 @@ Design:
   everywhere — the benchmark suite uses it to measure scalar-vs-kernel
   speedups on identical code paths (``execute_plan(kernel_mode="scalar")``).
 
-On top of the batched tier sits an optional third, **columnar** tier: when a
-monoid's carrier is a flat numeric scalar (float/int/bool) and numpy is
-importable, an :class:`ArrayKernel` supplies the vectorized ⊕-fold
-(``ufunc.reduceat`` over sorted group boundaries) and elementwise ⊗ that the
-columnar relation layout in :mod:`repro.db.annotated` drives.  numpy is an
-*optional* dependency: :func:`numpy_or_none` guards the import, exact
-carriers (Fractions, Shapley/bag-set vectors, provenance trees) never get an
-array kernel, and every caller falls back to the batched tier when
-:func:`array_kernel_for` returns ``None``.
+On top of the batched tier sits an optional third, **columnar** tier: when
+numpy is importable and the monoid registers an :class:`ArrayKernel`, it
+supplies the vectorized ⊕-fold (``ufunc.reduceat`` over sorted group
+boundaries) and elementwise ⊗ that the columnar relation layout in
+:mod:`repro.db.annotated` drives.  numpy is an *optional* dependency:
+:func:`numpy_or_none` guards the import, the exact rational carriers
+(Fractions) and provenance trees never get an array kernel, and every
+caller falls back to the batched tier when :func:`array_kernel_for`
+returns ``None``.
+
+Vector carriers — the bag-set and Shapley monoids, whose elements are
+fixed-length coefficient vectors — get a third shape of array kernel:
+:class:`VectorArrayKernel`, whose annotations are *packed rows* of a 2-D
+array driven by :class:`~repro.db.annotated.PackedColumnarKRelation`.
+Registration and resolution are identical; only the annotation layout (and
+therefore the row hooks) differs.
 
 Every kernel must be *extensionally equal* to the scalar path on its monoid
 (same outputs, up to ``monoid.eq``); ``tests/test_kernels.py`` and
 ``tests/test_array_kernels.py`` check this property on randomized relations
 for every bundled monoid.
+
+Example — resolve a batched kernel and run the two batch shapes:
+
+>>> from repro.algebra.counting import CountingSemiring
+>>> from repro.core.kernels import kernel_for, scalar_kernels
+>>> kernel = kernel_for(CountingSemiring())
+>>> kernel.fold_add([[2, 3], [4]])      # ⊕-fold each group (Rule 1)
+[5, 4]
+>>> kernel.mul_aligned([2, 3], [5, 7])  # aligned ⊗-products (Rule 2)
+[10, 21]
+>>> with scalar_kernels():              # the perf suite's scalar baseline
+...     type(kernel_for(CountingSemiring())).__name__
+'GenericKernel'
 """
 
 from __future__ import annotations
@@ -359,6 +379,30 @@ class ArrayKernel(Generic[K]):
         """Boolean mask of entries equal to the ⊕-identity (``monoid.zero``)."""
         return column == self.monoid.zero
 
+    # -- layout hooks (overridden by packed-row kernels) ----------------
+    #: Whether annotations are packed multi-slot rows (2-D/3-D arrays) —
+    #: the columnar layer then builds
+    #: :class:`~repro.db.annotated.PackedColumnarKRelation` views.
+    packed_rows = False
+
+    def where_rows(self, found, matched):
+        """*matched* with rows where ``~found`` replaced by ``monoid.zero``.
+
+        The union-merge helper: probe rows missing from the other side get
+        the ⊕-identity annotation (``a ⊗ 0`` need not be ``0`` in a general
+        2-monoid).  Scalar columns use one ``np.where``; packed-row kernels
+        override with a row-wise assignment.
+        """
+        return self.np.where(found, matched, self.monoid.zero)
+
+    def concat_rows(self, first, second):
+        """Concatenate two annotation arrays along the row axis.
+
+        Packed-row kernels override to reconcile differing slot widths
+        before concatenating.
+        """
+        return self.np.concatenate([first, second])
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} over {self.monoid.name!r}>"
 
@@ -381,6 +425,50 @@ class ExactObjectArrayKernel(ArrayKernel[K]):
     def to_scalar(self, value) -> K:
         # Object columns store the carrier value itself, not a numpy scalar.
         return value
+
+
+class VectorArrayKernel(ArrayKernel[K]):
+    """Array kernel over *vector* carriers packed as 2-D annotation rows.
+
+    Where a scalar :class:`ArrayKernel` stores one annotation per array
+    entry, a vector kernel packs each carrier vector into one **row** of a
+    2-D (or, for the two-slice Shapley carrier, 3-D) array: one column per
+    vector slot, trimmed to the widest slot actually used.  The columnar
+    relation layer (:class:`~repro.db.annotated.PackedColumnarKRelation`)
+    only ever indexes, filters and concatenates whole rows, so all the key
+    grouping and alignment machinery is shared with the scalar tier; the
+    per-row ⊕/⊗ arithmetic — batched sliding-window convolutions with a
+    guarded ``int64`` fast path and an exact fallback — lives in the
+    concrete kernels next to their monoids (:mod:`repro.algebra.bagset`,
+    :mod:`repro.algebra.shapley`), built on :mod:`repro.algebra.packed`.
+
+    Subclasses implement :meth:`zero_row` (the ⊕-identity as one packed
+    row) on top of the scalar-kernel contract.
+    """
+
+    packed_rows = True
+
+    def zero_row(self, width):
+        """``monoid.zero`` packed as a single row of *width* slots."""
+        raise NotImplementedError
+
+    def pad_rows(self, rows, width):
+        """Right-pad the slot axis to *width* (trailing slots are zeros)."""
+        from repro.algebra.packed import pad_rows
+
+        return pad_rows(self.np, rows, width)
+
+    def where_rows(self, found, matched):
+        out = matched.copy()
+        out[~found] = self.zero_row(matched.shape[-1])
+        return out
+
+    def concat_rows(self, first, second):
+        np = self.np
+        width = max(first.shape[-1], second.shape[-1])
+        return np.concatenate(
+            [self.pad_rows(first, width), self.pad_rows(second, width)]
+        )
 
 
 _ARRAY_REGISTRY: dict[type, ArrayKernelFactory] = {}

@@ -32,6 +32,15 @@ are materialized lazily from the dict form and cached on the
 :class:`KDatabase` across plan executions (sessions replay one annotated
 database many times); any mutation of a relation bumps its version and
 invalidates only that relation's view.
+
+Vector carriers — the bag-set multiplicity profiles and Shapley ``#Sat``
+polynomials — ride the same machinery through
+:class:`PackedColumnarKRelation`: the annotation array becomes **2-D** (one
+row per tuple, one column per vector slot; Shapley adds a false/true slice
+axis), and the generic operations only ever index, filter and concatenate
+whole rows, delegating the row arithmetic — batched sliding-window
+convolutions with a guarded int64 fast path — to the monoid's
+:class:`~repro.core.kernels.VectorArrayKernel`.
 """
 
 from __future__ import annotations
@@ -497,7 +506,7 @@ class ColumnarKRelation(Generic[K]):
         n = len(self)
         columns = tuple(self.columns[i] for i in keep)
         if n == 0:
-            return ColumnarKRelation(
+            return type(self)(
                 target, kernel, columns, self.annotations, self.interner
             )
         if not columns:
@@ -505,7 +514,7 @@ class ColumnarKRelation(Generic[K]):
             starts = np.zeros(1, dtype=np.intp)
             folded = kernel.fold_groups(self.annotations, starts)
             keep_mask = ~kernel.zero_mask(folded)
-            return ColumnarKRelation(
+            return type(self)(
                 target, kernel, (), folded[keep_mask], self.interner
             )
         order = np.lexsort(columns[::-1])
@@ -518,7 +527,7 @@ class ColumnarKRelation(Generic[K]):
         folded = kernel.fold_groups(self.annotations[order], starts)
         out_columns = tuple(column[starts] for column in sorted_columns)
         folded, out_columns = _drop_zeros(kernel, folded, out_columns)
-        return ColumnarKRelation(
+        return type(self)(
             target, kernel, out_columns, folded, self.interner
         )
 
@@ -577,20 +586,20 @@ class ColumnarKRelation(Generic[K]):
                 matched_annotations = other.annotations[matched_rows]
             else:
                 matched_annotations = kernel.to_array([zero_value] * n_self)
-            right = np.where(found, matched_annotations, zero_value)
+            right = kernel.where_rows(found, matched_annotations)
             products_self = kernel.mul_arrays(self.annotations, right)
             other_only = np.ones(n_other, dtype=bool)
             other_only[matched_rows[found]] = False
             only_annotations = other.annotations[other_only]
             zeros = kernel.to_array([zero_value] * int(other_only.sum()))
             products_other = kernel.mul_arrays(zeros, only_annotations)
-            products = np.concatenate([products_self, products_other])
+            products = kernel.concat_rows(products_self, products_other)
             out_columns = tuple(
                 np.concatenate([mine, theirs[other_only]])
                 for mine, theirs in zip(self_columns, other_columns)
             )
         products, out_columns = _drop_zeros(kernel, products, out_columns)
-        return ColumnarKRelation(
+        return type(self)(
             target, kernel, out_columns, products, self.interner
         )
 
@@ -636,9 +645,47 @@ class ColumnarKRelation(Generic[K]):
         products = kernel.mul_arrays(left, right)
         out_columns = tuple(column[found] for column in self_columns)
         products, out_columns = _drop_zeros(kernel, products, out_columns)
-        return ColumnarKRelation(
+        return type(self)(
             target, kernel, out_columns, products, self.interner
         )
+
+
+class PackedColumnarKRelation(ColumnarKRelation[K]):
+    """Columnar view whose annotations are *packed vector rows*.
+
+    The layout for vector carriers (bag-set multiplicity profiles, Shapley
+    ``#Sat`` polynomials): the annotation array is 2-D — one row per support
+    tuple, one column per vector slot, trimmed to the widest slot in use
+    (the Shapley carrier packs its false/true slices along a middle axis,
+    shape ``(n, 2, w)``).  Every elimination operation is inherited: the
+    generic code only indexes, filters and concatenates whole rows through
+    the kernel's layout hooks, and the row arithmetic — batched
+    sliding-window convolutions with a guarded int64 fast path and an exact
+    big-int fallback — lives in the monoid's
+    :class:`~repro.core.kernels.VectorArrayKernel`.
+    """
+
+    __slots__ = ()
+
+    @property
+    def packed_width(self) -> int:
+        """Slots stored per vector row (≤ the monoid's truncation length)."""
+        return int(self.annotations.shape[-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedColumnarKRelation({self.atom}, |support|={len(self)}, "
+            f"width={self.packed_width}, dtype={self.annotations.dtype})"
+        )
+
+
+def columnar_relation_class(kernel) -> type:
+    """The columnar-view class serving *kernel*'s annotation layout."""
+    return (
+        PackedColumnarKRelation
+        if getattr(kernel, "packed_rows", False)
+        else ColumnarKRelation
+    )
 
 
 def _drop_zeros(kernel, annotations, columns):
@@ -897,7 +944,7 @@ class KDatabase(Generic[K]):
             cached = self._columnar.get(name)
             if cached is not None and cached[0] == relation._version:
                 return cached[1]
-            view = ColumnarKRelation.from_relation(
+            view = columnar_relation_class(kernel).from_relation(
                 relation, kernel, self._interner
             )
             self._columnar[name] = (relation._version, view)
@@ -938,7 +985,7 @@ class KDatabase(Generic[K]):
             except OverflowError:
                 self.decline_columnar(kernel)
                 return
-            view = ColumnarKRelation(
+            view = columnar_relation_class(kernel)(
                 relation.atom, kernel, columns, packed, self._interner
             )
             self._columnar[name] = (relation._version, view)

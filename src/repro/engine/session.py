@@ -31,6 +31,26 @@ one build — and the Shapley mutate-run-restore cycle holds a dedicated lock
 for its whole duration, serializing every run over the Shapley-annotated
 database with the in-place ψ-flips.  Plain evaluation over the other (never
 mutated) annotated databases runs without any lock held.
+
+Example — bind one probabilistic database, answer repeated requests
+through the memo:
+
+>>> from fractions import Fraction
+>>> from repro import Engine, Fact, ProbabilisticDatabase, parse_query
+>>> query = parse_query("Q() :- R(X), S(X)")
+>>> pdb = ProbabilisticDatabase({
+...     Fact("R", (1,)): Fraction(1, 2),
+...     Fact("S", (1,)): Fraction(1, 2),
+... })
+>>> session = Engine().open(query, probabilistic=pdb)
+>>> session.pqe(exact=True)
+Fraction(1, 4)
+>>> session.request("pqe", exact=True)  # first request: computed, memoized
+Fraction(1, 4)
+>>> session.request("pqe", exact=True)  # repeat: served from the memo
+Fraction(1, 4)
+>>> session.stats()["memo"]["hits"]
+1
 """
 
 from __future__ import annotations

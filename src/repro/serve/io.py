@@ -23,6 +23,15 @@ stream::
 tuple lists).  Request parameters named ``fact`` decode to
 :class:`~repro.db.fact.Fact`; ``values`` inside facts follow JSON
 scalar round-tripping.
+
+>>> from repro.serve.io import request_from_dict
+>>> str(request_from_dict({"family": "pqe", "exact": True}))
+'pqe(exact=True)'
+>>> request_from_dict({
+...     "family": "shapley_value",
+...     "fact": {"relation": "S", "values": [1, 2]},
+... }).kwargs
+{'fact': Fact(relation='S', values=(1, 2))}
 """
 
 from __future__ import annotations

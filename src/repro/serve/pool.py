@@ -17,6 +17,22 @@ version-keyed invalidation hook
 (:meth:`~repro.db.annotated.KDatabase.add_invalidation_hook`) on each, so
 any mutation eagerly drops the dependent memoized results — on top of the
 sessions' own lazy fingerprint checks.
+
+>>> from fractions import Fraction
+>>> from repro import Fact, ProbabilisticDatabase, parse_query
+>>> from repro.serve import SessionPool
+>>> query = parse_query("Q() :- R(X), S(X)")
+>>> pdb = ProbabilisticDatabase({
+...     Fact("R", (1,)): Fraction(1, 2),
+...     Fact("S", (1,)): Fraction(1, 2),
+... })
+>>> with SessionPool() as pool:
+...     first = pool.session(query, probabilistic=pdb)
+...     second = pool.session(query, probabilistic=pdb)  # same sources
+...     _ = first.pqe(exact=True)
+...     builds = second.stats()["annotation_builds"]     # shared state
+>>> builds
+1
 """
 
 from __future__ import annotations

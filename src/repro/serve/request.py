@@ -5,6 +5,14 @@ A :class:`Request` names an evaluation family (one of
 a canonical, hashable form.  Two requests with equal :attr:`signature` are
 interchangeable — the scheduler's single-flight coalescing and the session
 result memo both key on it.
+
+>>> from repro.serve import Request
+>>> Request.make("pqe", exact=False) == Request.make("pqe")
+True
+>>> str(Request.make("pqe", exact=True))
+'pqe(exact=True)'
+>>> Request.make("pqe").signature
+('pqe', ())
 """
 
 from __future__ import annotations

@@ -14,6 +14,21 @@ state between several servers over the same sources) and pushes its
 requests through a :class:`~repro.serve.scheduler.Scheduler`, so duplicate
 in-flight requests execute once, per-fact Shapley/Banzhaf floods collapse
 into sweeps, and repeated requests are served from the session memo.
+
+>>> from fractions import Fraction
+>>> from repro import Fact, ProbabilisticDatabase, Request, Server, parse_query
+>>> query = parse_query("Q() :- R(X), S(X)")
+>>> pdb = ProbabilisticDatabase({
+...     Fact("R", (1,)): Fraction(1, 2),
+...     Fact("S", (1,)): Fraction(1, 2),
+... })
+>>> with Server(query, probabilistic=pdb, workers=2) as server:
+...     answers = server.map([
+...         Request.make("pqe", exact=True),
+...         Request.make("expected_count", exact=True),
+...     ])
+>>> answers
+[Fraction(1, 4), Fraction(1, 4)]
 """
 
 from __future__ import annotations

@@ -41,7 +41,7 @@ from repro.algebra.counting import CountingSemiring
 from repro.algebra.probability import ExactProbabilityMonoid, ProbabilityMonoid
 from repro.algebra.real import RealSemiring
 from repro.algebra.resilience import ResilienceMonoid
-from repro.algebra.shapley import ShapleyMonoid
+from repro.algebra.shapley import SatVector, ShapleyMonoid
 from repro.algebra.tropical import (
     MaxPlusSemiring,
     MaxTimesSemiring,
@@ -205,13 +205,16 @@ class TestTierEquivalenceEndToEnd:
 # Columnar relation operations vs the scalar dict layout
 # ----------------------------------------------------------------------
 def _columnar_pair(first: KRelation, second: KRelation | None = None):
+    from repro.db.annotated import columnar_relation_class
+
     kernel = array_kernel_for(first.monoid)
     assert kernel is not None
+    cls = columnar_relation_class(kernel)
     interner = _ValueInterner()
-    left = ColumnarKRelation.from_relation(first, kernel, interner)
+    left = cls.from_relation(first, kernel, interner)
     if second is None:
         return left
-    return left, ColumnarKRelation.from_relation(second, kernel, interner)
+    return left, cls.from_relation(second, kernel, interner)
 
 
 def _assert_same_relation(monoid, columnar: ColumnarKRelation, expected, exact):
@@ -449,11 +452,23 @@ class TestTierSelection:
         for monoid in (
             ExactProbabilityMonoid(),
             RealSemiring(exact=True),
-            ShapleyMonoid(4),
-            BagSetMonoid(4),
             CountingMonoid(CountingSemiring()),
         ):
             assert array_kernel_for(monoid) is None, monoid.name
+
+    @requires_numpy
+    def test_vector_carriers_get_packed_kernels(self):
+        """The bag-set/Shapley monoids run the packed columnar tier (their
+        kernels advertise packed rows so the db layer builds
+        PackedColumnarKRelation views); instrumentation wrappers still
+        decline."""
+        from repro.core.kernels import VectorArrayKernel
+
+        for monoid in (ShapleyMonoid(4), BagSetMonoid(4)):
+            kernel = array_kernel_for(monoid)
+            assert isinstance(kernel, VectorArrayKernel), monoid.name
+            assert kernel.packed_rows
+        assert array_kernel_for(CountingMonoid(ShapleyMonoid(4))) is None
 
     @requires_numpy
     def test_scalar_kernels_block_disables_array_tier(self):
@@ -582,6 +597,245 @@ class TestTierSelection:
 
 
 # ----------------------------------------------------------------------
+# Packed vector carriers: bag-set / Shapley tier equivalence
+# ----------------------------------------------------------------------
+def _random_satvector(monoid, rng):
+    """An arbitrary (non-spike) carrier element: dodges every fast path."""
+    length = monoid.length
+    return SatVector(
+        tuple(rng.randrange(0, 4) for _ in range(length)),
+        tuple(rng.randrange(0, 4) for _ in range(length)),
+    )
+
+
+def _random_bagset_vector(monoid, rng):
+    return tuple(sorted(rng.randrange(0, 5) for _ in range(monoid.length)))
+
+
+def _vector_samplers():
+    """(monoid, sampler) pairs covering ψ-spikes and arbitrary vectors."""
+    def spiky(monoid):
+        def sample(rng):
+            choice = rng.random()
+            if choice < 0.4:
+                return monoid.one
+            if choice < 0.75:
+                return monoid.star
+            if choice < 0.85:
+                return monoid.zero
+            if isinstance(monoid, ShapleyMonoid):
+                return _random_satvector(monoid, rng)
+            return _random_bagset_vector(monoid, rng)
+
+        return sample
+
+    return [
+        (monoid, spiky(monoid))
+        for monoid in (
+            BagSetMonoid(1), BagSetMonoid(5),
+            ShapleyMonoid(1), ShapleyMonoid(5),
+        )
+    ]
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "monoid,sampler",
+    _vector_samplers(),
+    ids=lambda value: (
+        f"{value.name}-{value.length}" if hasattr(value, "length") else None
+    ),
+)
+class TestPackedVectorRelationOps:
+    """Packed 2-D relation ops ≡ the scalar dict layout, bit-identically."""
+
+    def test_views_are_packed(self, monoid, sampler):
+        from repro.db.annotated import PackedColumnarKRelation
+
+        rng = random.Random(41)
+        relation = _mixed_key_relation(
+            make_atom("R", ("X", "Y")), monoid, sampler, rng
+        )
+        view = _columnar_pair(relation)
+        assert isinstance(view, PackedColumnarKRelation)
+        assert view.packed_width >= 1
+
+    def test_project_out(self, monoid, sampler):
+        rng = random.Random(43)
+        atom = make_atom("R", ("X", "Y"))
+        target = make_atom("R'", ("X",))
+        for _trial in range(4):
+            relation = _mixed_key_relation(atom, monoid, sampler, rng)
+            with scalar_kernels():
+                expected = relation.project_out("Y", target)
+            columnar = _columnar_pair(relation)
+            _assert_same_relation(
+                monoid, columnar.project_out("Y", target), expected, True
+            )
+
+    def test_merge_with_reordered_variables(self, monoid, sampler):
+        """Bag-set merges intersect (annihilating); Shapley merges walk the
+        support union — one-sided tuples must get exact ``a ⊗ 0``."""
+        rng = random.Random(47)
+        first_atom = make_atom("R", ("X", "Y"))
+        second_atom = make_atom("S", ("Y", "X"))
+        target = make_atom("R'", ("X", "Y"))
+        for _trial in range(4):
+            first = _mixed_key_relation(first_atom, monoid, sampler, rng)
+            second = _mixed_key_relation(second_atom, monoid, sampler, rng)
+            with scalar_kernels():
+                expected = first.merge(second, target)
+            left, right = _columnar_pair(first, second)
+            _assert_same_relation(
+                monoid, left.merge(right, target), expected, True
+            )
+
+    def test_end_to_end_tiers_identical(self, monoid, sampler):
+        rng = random.Random(53)
+        for query in (q_eq1(), star_query(2)):
+            annotated = _random_annotated(
+                query, monoid, sampler, rng, tuples=25, domain=5
+            )
+            results = _run_all_tiers(query, annotated)
+            assert (
+                results["scalar"] == results["batched"] == results["array"]
+            ), monoid.name
+
+
+@requires_numpy
+class TestPackedVectorLargestConfigs:
+    """The acceptance workloads: E4/E6 shapes, bit-identical across tiers."""
+
+    def test_e6_shapley_largest_config(self):
+        """The full E6 largest configuration (|Dn| = 256): array ≡ batched
+        bit-for-bit.  Coefficients reach C(256, k) ≈ 2²⁵⁰, so this
+        exercises the int64 → Kronecker exact-fallback leg end to end."""
+        from repro.bench.experiments import _split_instance
+        from repro.problems.shapley import annotation_psi
+
+        query = star_query(2)
+        instance = _split_instance(
+            query, exogenous=40, endogenous=256, seed=256
+        )
+        monoid = ShapleyMonoid(instance.endogenous_count + 1)
+        facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
+        annotated = KDatabase.annotate(
+            query, monoid, facts, annotation_psi(instance, monoid)
+        )
+        plan = compile_plan(query)
+        batched = execute_plan(plan, annotated, kernel_mode="batched").result
+        array = execute_plan(plan, annotated, kernel_mode="array").result
+        assert array == batched
+        assert max(array.true_counts) > 2**63  # the exact leg really ran
+
+    def test_e6_three_tiers_moderate_config(self):
+        from repro.bench.experiments import _split_instance
+        from repro.problems.shapley import annotation_psi
+
+        query = star_query(2)
+        instance = _split_instance(query, exogenous=40, endogenous=64, seed=64)
+        monoid = ShapleyMonoid(instance.endogenous_count + 1)
+        facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
+        annotated = KDatabase.annotate(
+            query, monoid, facts, annotation_psi(instance, monoid)
+        )
+        results = _run_all_tiers(query, annotated)
+        assert results["scalar"] == results["batched"] == results["array"]
+
+    def test_e4_bagset_largest_config(self):
+        """The full E4 largest configuration (|D| = 1600, θ = 16):
+        scalar ≡ batched ≡ array bit-for-bit."""
+        from repro.problems.bagset_max import annotation_psi
+        from repro.workloads.generators import random_bagset_instance
+
+        query = star_query(2)
+        instance = random_bagset_instance(
+            query, base_facts_per_relation=800, repair_facts_per_relation=16,
+            budget=16, domain_size=400, seed=1600,
+        )
+        monoid = BagSetMonoid(instance.budget + 1)
+        facts = [*instance.database.facts(), *instance.addable_facts()]
+        annotated = KDatabase.annotate(
+            query, monoid, facts, annotation_psi(instance, monoid)
+        )
+        results = _run_all_tiers(query, annotated)
+        assert results["scalar"] == results["batched"] == results["array"]
+
+    def test_bagset_overflowing_multiplicities_stay_exact(self):
+        """Products beyond int64 switch the rows to exact object
+        arithmetic — never a wrap, never an exception."""
+        query = star_query(2)
+        monoid = BagSetMonoid(4)
+        annotated = KDatabase(query, monoid)
+        for relation in annotated.relations():
+            for y in range(3):
+                relation.set((1, y), monoid.constant(2**40))
+        results = _run_all_tiers(query, annotated)
+        assert results["scalar"] == results["batched"] == results["array"]
+        assert results["array"][0] == (3 * 2**40) ** 2
+
+    def test_shapley_huge_input_coefficients_pack_exactly(self):
+        """Annotations already beyond int64 encode as exact object rows
+        (the guarded fast path never engages)."""
+        query = q_eq1()
+        monoid = ShapleyMonoid(3)
+        huge = SatVector((2**70, 1, 0), (0, 2**70, 3))
+        annotated = KDatabase(query, monoid)
+        for relation in annotated.relations():
+            relation.set(
+                tuple(1 for _ in range(relation.atom.arity)), huge
+            )
+        kernel = array_kernel_for(monoid)
+        packed = kernel.to_array([huge])
+        assert packed.dtype == object
+        results = _run_all_tiers(query, annotated)
+        assert results["scalar"] == results["batched"] == results["array"]
+
+    def test_seeded_packed_views_match_lazy(self):
+        """bulk_annotate(columnar=True) seeds packed views equal to the
+        lazily materialized ones (the session/pool sharing path)."""
+        from repro.bench.experiments import _split_instance
+        from repro.db.annotated import PackedColumnarKRelation
+        from repro.problems.shapley import annotation_psi
+
+        query = star_query(2)
+        instance = _split_instance(query, exogenous=10, endogenous=12, seed=3)
+        monoid = ShapleyMonoid(instance.endogenous_count + 1)
+        facts = [*instance.exogenous.facts(), *instance.endogenous.facts()]
+        psi = annotation_psi(instance, monoid)
+        seeded = KDatabase.annotate(query, monoid, facts, psi, columnar=True)
+        lazy = KDatabase.annotate(query, monoid, facts, psi)
+        assert seeded.columnar_cache_info()["relations"] == len(query.atoms)
+        assert lazy.columnar_cache_info()["relations"] == 0
+        kernel = array_kernel_for(monoid)
+        for atom in query.atoms:
+            mine = seeded.columnar_relation(atom.relation, kernel)
+            theirs = lazy.columnar_relation(atom.relation, kernel)
+            assert isinstance(mine, PackedColumnarKRelation)
+            assert (mine.annotations == theirs.annotations).all()
+            for own, other in zip(mine.columns, theirs.columns):
+                assert (own == other).all()
+
+    def test_session_serves_shapley_from_packed_views(self):
+        """An auto-mode session answers sat_vector/shapley_values through
+        the packed tier with answers identical to the batched tier."""
+        from repro.engine import Engine
+        from repro.bench.experiments import _split_instance
+
+        query = star_query(2)
+        instance = _split_instance(query, exogenous=12, endogenous=8, seed=21)
+        open_session = lambda mode: Engine(kernel_mode=mode).open(
+            query,
+            exogenous=instance.exogenous,
+            endogenous=instance.endogenous,
+        )
+        packed, batched = open_session("auto"), open_session("batched")
+        assert packed.sat_vector() == batched.sat_vector()
+        assert packed.shapley_values() == batched.shapley_values()
+        assert packed.stats()["columnar_relations"] > 0
+
+
+# ----------------------------------------------------------------------
 # numpy optionality: blocked-import fallback
 # ----------------------------------------------------------------------
 @pytest.fixture
@@ -618,6 +872,26 @@ class TestNumpyBlocked:
 
         assert available_tiers() == ["scalar", "batched"]
         assert environment_metadata()["numpy"] == "absent"
+
+    def test_vector_carriers_fall_back(self, blocked_numpy):
+        """Without numpy the packed tier silently yields to the batched
+        kernels for the vector carriers too."""
+        assert array_kernel_for(ShapleyMonoid(4)) is None
+        assert array_kernel_for(BagSetMonoid(4)) is None
+        query = q_eq1()
+        monoid = ShapleyMonoid(4)
+        annotated = KDatabase(query, monoid)
+        rng = random.Random(59)
+        for relation in annotated.relations():
+            for _ in range(10):
+                values = tuple(
+                    rng.randrange(0, 3) for _ in range(relation.atom.arity)
+                )
+                relation.set(
+                    values, rng.choice([monoid.one, monoid.star, monoid.zero])
+                )
+        results = _run_all_tiers(query, annotated)
+        assert results["array"] == results["batched"] == results["scalar"]
 
     def test_engine_session_unaffected(self, blocked_numpy):
         from repro.engine import Engine

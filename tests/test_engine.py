@@ -424,7 +424,12 @@ class TestPackedOperandReuse:
     def test_session_reuses_packed_operands_across_requests(self):
         query = star_query(2)
         _, exo, endo = _split(query, exogenous=20, endogenous=12, seed=13)
-        session = Engine().open(query, exogenous=exo, endogenous=endo)
+        # Pin the batched tier: it owns the packed-operand caches under
+        # test (the default auto mode now serves this workload from the
+        # packed columnar tier, which only consults them on overflow).
+        session = Engine(kernel_mode="batched").open(
+            query, exogenous=exo, endogenous=endo
+        )
         first = session.sat_vector()
         kernel = kernel_for(session._monoids["shapley"])
         warm = kernel.cache_info()

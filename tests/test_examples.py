@@ -74,6 +74,14 @@ class TestExampleScripts:
         assert "best achievable bag-set value: 6" in output
         assert "one elimination plan, four answers" in output
 
+    def test_packed_shapley_tiers(self):
+        # A small endogenous count keeps the scalar leg quick; the script
+        # itself asserts bit-identical answers across every tier it runs.
+        output = run_example("packed_shapley_tiers.py", "48")
+        assert "#Sat(k) head:" in output
+        assert "scalar" in output and "batched" in output
+        assert "diverged" not in output
+
     def test_run_all_experiments_subset(self):
         output = run_example("run_all_experiments.py", "E0", "E1")
         assert "E0: Figure 1 worked example" in output
