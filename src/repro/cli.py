@@ -145,6 +145,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="also print scheduler/session counters",
     )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None, dest="queue_limit",
+        help="bound the pending-request queue (default: unbounded)",
+    )
+    serve.add_argument(
+        "--shed-oldest", action="store_true", dest="shed_oldest",
+        help=(
+            "on a full queue, shed the oldest queued request instead of "
+            "rejecting the new one"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        help=(
+            "default per-request deadline in milliseconds (expired requests "
+            "fail with DeadlineExceeded before execution)"
+        ),
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=0, dest="max_retries",
+        help="retry budget for transient failures (default: no retries)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, dest="rate_limit",
+        help="per-family admission rate in requests/second",
+    )
+    serve.add_argument(
+        "--memo-limit", type=int, default=None, dest="memo_limit",
+        help="LRU cap on the session result memo (default: unbounded)",
+    )
     _add_policy_option(serve)
     _add_kernel_mode_option(serve)
 
@@ -299,20 +329,54 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    from repro.serve import Server, load_request_stream
+    from repro.serve import (
+        AdmissionControl,
+        RetryPolicy,
+        Server,
+        load_request_stream,
+    )
 
     query, data, requests = load_request_stream(args.requests)
     if not requests:
         print("no requests in stream")
         return 0
+    engine = Engine(
+        policy=args.policy,
+        kernel_mode=args.kernel_mode,
+        memo_limit=args.memo_limit,
+    )
+    admission = AdmissionControl(
+        queue_limit=args.queue_limit,
+        shed_policy="shed_oldest" if args.shed_oldest else "reject",
+        rate_limit=args.rate_limit,
+        default_deadline=(
+            None if args.deadline_ms is None else args.deadline_ms / 1000.0
+        ),
+    )
+    retry = RetryPolicy(max_retries=args.max_retries)
     started = time.perf_counter()
     with Server(
-        query, engine=_engine_from(args), workers=args.workers, **data
+        query,
+        engine=engine,
+        workers=args.workers,
+        admission=admission,
+        retry=retry,
+        **data,
     ) as server:
-        futures = [server.submit(request) for request in requests]
+        # Admission may reject a submission outright (full queue, rate
+        # limit); record the error in the request's slot so output order
+        # still matches the stream.
+        futures: list = []
+        for request in requests:
+            try:
+                futures.append(server.submit(request))
+            except ReproError as error:
+                futures.append(error)
         failures = 0
         for index, (request, future) in enumerate(zip(requests, futures)):
             try:
+                if isinstance(future, ReproError):
+                    raise future
                 print(f"[{index}] {request} = {future.result()}")
             except ReproError as error:
                 failures += 1
@@ -327,10 +391,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.workers} workers)"
     )
     if args.stats:
-        for key in ("coalesced", "executed", "sweeps", "swept_requests"):
+        for key in (
+            "coalesced",
+            "executed",
+            "sweeps",
+            "swept_requests",
+            "sweep_failures",
+            "rejected",
+            "shed",
+            "rate_limited",
+            "timeouts",
+            "retries",
+            "worker_respawns",
+            "breaker_trips",
+        ):
             print(f"{key}: {scheduler_stats[key]}")
         print(f"memo_hits: {memo['hits']}")
         print(f"memo_misses: {memo['misses']}")
+        print(f"memo_evictions: {memo['evictions']}")
     return 1 if failures else 0
 
 

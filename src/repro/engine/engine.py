@@ -74,6 +74,12 @@ class Engine:
         entry points; equivalent to calling
         :func:`repro.core.plan.set_plan_cache_size` yourself), so the last
         configured size wins — set it once at application startup.
+    memo_limit:
+        Entry cap for each session's result memo (and per-fact #Sat pair
+        memo).  ``None`` (the default) keeps the memos unbounded; with a
+        limit, the least-recently-used entry is evicted past capacity and
+        counted in ``session.stats()["memo"]["evictions"]``.  Long-running
+        serving deployments set this to bound memory.
     monoids:
         Extra/overriding monoid factories merged over
         :data:`DEFAULT_MONOID_FACTORIES`.
@@ -95,12 +101,18 @@ class Engine:
         policy: Policy | str = "rule1_first",
         kernel_mode: str = "auto",
         plan_cache_size: int | None = None,
+        memo_limit: int | None = None,
         monoids: Mapping[str, MonoidFactory] | None = None,
     ):
         if kernel_mode not in KERNEL_MODES:
             raise ReproError(
                 f"unknown kernel mode {kernel_mode!r}; "
                 f"expected one of {KERNEL_MODES}"
+            )
+        if memo_limit is not None and memo_limit < 1:
+            raise ReproError(
+                f"memo_limit must be a positive integer or None, "
+                f"got {memo_limit}"
             )
         if isinstance(policy, str) and policy not in policy_names():
             raise ReproError(
@@ -109,6 +121,7 @@ class Engine:
             )
         self.policy = policy
         self.kernel_mode = kernel_mode
+        self.memo_limit = memo_limit
         self._factories: dict[str, MonoidFactory] = dict(
             DEFAULT_MONOID_FACTORIES
         )

@@ -57,11 +57,17 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Callable, Iterable
 
 from repro.algebra.base import K, TwoMonoid
-from repro.core.algorithm import StepHook, compile_for_database, execute_plan
+from repro.core.algorithm import (
+    KERNEL_MODES,
+    StepHook,
+    compile_for_database,
+    execute_plan,
+)
 from repro.core.grouped import (
     GroupedPlan,
     compile_grouped_plan,
@@ -200,6 +206,44 @@ _DERIVED_FROM: dict[str, tuple[str, Callable[[object, dict], object]]] = {
 }
 
 
+class ResultMemo(OrderedDict):
+    """A size-capped LRU mapping backing the session result memos.
+
+    With ``limit=None`` (the default) it behaves exactly like a plain dict.
+    With a limit, inserting past capacity evicts the least-recently-*used*
+    entry — :meth:`get` hits refresh recency — and counts the eviction in
+    :attr:`evictions`, which :meth:`EngineSession.stats` (and the pool
+    stats) surface as memo pressure.  Eviction is silent and safe: a
+    re-asked evicted request is simply recomputed.
+    """
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 1:
+            raise ReproError(
+                f"memo limit must be a positive integer or None, got {limit}"
+            )
+        super().__init__()
+        self.limit = limit
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        """Dict ``get`` that also refreshes the entry's LRU recency."""
+        try:
+            value = super().__getitem__(key)
+        except KeyError:
+            return default
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        if self.limit is not None:
+            while len(self) > self.limit:
+                self.popitem(last=False)
+                self.evictions += 1
+
+
 class EngineSession:
     """Answers many evaluation requests over one query and one database.
 
@@ -237,6 +281,11 @@ class EngineSession:
         # (see KDatabase.bulk_annotate): exactly when the engine's kernel
         # mode can select the array tier.
         self._columnar_builds = engine.kernel_mode in ("auto", "array")
+        # Circuit-breaker hook: a non-None override replaces the engine's
+        # kernel mode for this session's runs (see degrade_kernel_mode).
+        # Deliberately per-session, NOT shared via share_state_from — the
+        # breaker trips the session object it observed failing.
+        self._kernel_override: str | None = None
         # Reusable state, keyed per problem family / parameters.  Everything
         # below may be *shared* with sibling sessions via
         # :meth:`share_state_from` (the SessionPool), so all of it is only
@@ -253,12 +302,16 @@ class EngineSession:
         self._grouped_plans: dict[frozenset[Variable], GroupedPlan] = {}
         self._sources: dict[bool, ProbabilisticDatabase] = {}
         self._instances: dict[str, object] = {}
-        # Result memo: (family, canonical params) → (fingerprint, value).
-        self._results: dict[tuple, tuple[tuple, object]] = {}
+        # Result memo: (family, canonical params) → (fingerprint, value),
+        # LRU-capped by the engine's memo_limit (None = unbounded).
+        memo_limit = getattr(engine, "memo_limit", None)
+        self._results: ResultMemo = ResultMemo(memo_limit)
         # Per-fact #Sat pair memo: fact → (fingerprint, (with_f, without_f)).
         # Shapley AND Banzhaf values of one fact derive from the same two
         # #Sat runs; caching the pair makes the second attribution free.
-        self._sat_pairs: dict[Fact, tuple[int, tuple]] = {}
+        # Capped like the result memo — the packed count vectors are the
+        # session's largest per-entry residents.
+        self._sat_pairs: ResultMemo = ResultMemo(memo_limit)
         # Work counters (observability; see stats()).
         self._counters = {
             "evaluations": 0,
@@ -293,6 +346,36 @@ class EngineSession:
         self._counters = donor._counters
 
     # ------------------------------------------------------------------
+    # Kernel-tier override (the circuit breaker's degrade hook)
+    # ------------------------------------------------------------------
+    @property
+    def kernel_mode(self) -> str:
+        """The session's effective kernel mode (override or engine default).
+
+        All modes produce bit-identical results, so a degraded session's
+        answers are indistinguishable from the engine-configured tier —
+        only the execution cost differs.
+        """
+        return self._kernel_override or self.engine.kernel_mode
+
+    def degrade_kernel_mode(self, mode: str) -> None:
+        """Override this session's kernel mode (typically ``"batched"``).
+
+        Used by :class:`repro.serve.admission.CircuitBreaker` to step a
+        failing session off the array tier while keeping results
+        bit-identical; :meth:`restore_kernel_mode` undoes it.
+        """
+        if mode not in KERNEL_MODES:
+            raise ReproError(
+                f"unknown kernel mode {mode!r}; expected one of {KERNEL_MODES}"
+            )
+        self._kernel_override = mode
+
+    def restore_kernel_mode(self) -> None:
+        """Drop the kernel-mode override, restoring the engine's tier."""
+        self._kernel_override = None
+
+    # ------------------------------------------------------------------
     # Shared execution helpers
     # ------------------------------------------------------------------
     def _run(self, annotated: KDatabase, on_step: StepHook | None = None):
@@ -303,7 +386,7 @@ class EngineSession:
             plan,
             annotated,
             on_step=on_step,
-            kernel_mode=self.engine.kernel_mode,
+            kernel_mode=self.kernel_mode,
         ).result
 
     def _annotate(
@@ -786,7 +869,7 @@ class EngineSession:
         with self._lock:
             self._counters["annotation_builds"] += 1
         return execute_grouped_plan(
-            plan, annotated, kernel_mode=self.engine.kernel_mode
+            plan, annotated, kernel_mode=self.kernel_mode
         )
 
     # ------------------------------------------------------------------
@@ -815,7 +898,7 @@ class EngineSession:
             self.query,
             annotated,
             policy=self.engine.policy,
-            kernel_mode=self.engine.kernel_mode,
+            kernel_mode=self.kernel_mode,
         )
 
     # ------------------------------------------------------------------
@@ -843,7 +926,12 @@ class EngineSession:
                     "entries": len(self._results),
                     "hits": self._counters["memo_hits"],
                     "misses": self._counters["memo_misses"],
+                    "limit": self._results.limit,
+                    "evictions": (
+                        self._results.evictions + self._sat_pairs.evictions
+                    ),
                 },
+                "kernel_mode": self.kernel_mode,
                 "plan_cache": plan_cache_info(),
             }
             shapley = self._monoids.get("shapley")

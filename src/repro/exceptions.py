@@ -41,3 +41,48 @@ class AlgebraError(ReproError):
 
 class ReductionError(ReproError):
     """Raised when a hardness reduction receives an invalid input."""
+
+
+class TransientError(ReproError):
+    """A failure that may succeed on retry (the serving layer's retry class).
+
+    The scheduler's retry policy (:class:`repro.serve.admission.RetryPolicy`)
+    retries exactly this class by default; the fault-injection harness
+    (:mod:`repro.serve.faults`) raises it to simulate flaky kernels, and a
+    worker death re-queues the claimed requests wrapped in it when the
+    re-queue budget is exhausted.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline expired before its execution started.
+
+    Deadlines are checked at claim time (see
+    :class:`repro.serve.scheduler.Scheduler`), so queued-but-dead work is
+    resolved with this error without paying for execution.
+    """
+
+
+class QueueFullError(ReproError):
+    """The scheduler's bounded request queue rejected an admission.
+
+    Raised on submit under the ``"reject"`` shed policy, or set on the
+    *oldest* queued request's future under ``"shed_oldest"``.
+    """
+
+
+class RateLimitedError(QueueFullError):
+    """A per-family token bucket rejected an admission.
+
+    Subclasses :class:`QueueFullError` so one ``except`` clause covers both
+    backpressure rejections.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """The per-session circuit breaker is open: requests fail fast.
+
+    The breaker first degrades the session's kernel tier (array → batched,
+    bit-identical results); only when failures persist on the degraded tier
+    does it open and reject with this error until the cool-down elapses.
+    """

@@ -16,11 +16,32 @@ Layers, bottom-up:
   (``submit``/``map``/``close``) binding one serving target, backing the
   ``repro serve`` CLI and the ``serve`` bench scenario.
 
+Cross-cutting robustness (all default-off; see
+:mod:`repro.serve.admission` and :mod:`repro.serve.faults`):
+:class:`~repro.serve.admission.AdmissionControl` bounds the queue, rate
+limits per family and applies deadlines (enforced at claim time with
+:class:`~repro.exceptions.DeadlineExceeded`);
+:class:`~repro.serve.admission.RetryPolicy` retries transient failures
+with jittered exponential backoff;
+:class:`~repro.serve.admission.CircuitBreaker` degrades a failing
+session's kernel tier (bit-identically) before failing fast; the
+scheduler supervises its workers, respawning dead ones and re-queueing
+their claimed requests; and :class:`~repro.serve.faults.FaultInjector`
+is the seeded chaos harness that proves all of the above in
+``tests/test_faults.py``.
+
 Every request is executed through the session's memoizing
 :meth:`~repro.engine.session.EngineSession.request` entry point, so all
 answers are bit-identical to serial one-shot evaluation by construction.
 """
 
+from repro.serve.admission import (
+    AdmissionControl,
+    CircuitBreaker,
+    RetryPolicy,
+    TokenBucket,
+)
+from repro.serve.faults import FaultInjector, FaultPlan, WorkerKilled
 from repro.serve.io import load_request_stream, request_from_dict
 from repro.serve.pool import SessionPool
 from repro.serve.request import Request
@@ -28,10 +49,17 @@ from repro.serve.scheduler import Scheduler
 from repro.serve.server import Server, serve_requests
 
 __all__ = [
+    "AdmissionControl",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
     "Request",
+    "RetryPolicy",
     "Scheduler",
     "Server",
     "SessionPool",
+    "TokenBucket",
+    "WorkerKilled",
     "load_request_stream",
     "request_from_dict",
     "serve_requests",

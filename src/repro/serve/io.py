@@ -73,15 +73,33 @@ def _decode_param(name: str, value: Any) -> Any:
 
 
 def request_from_dict(payload: dict) -> Request:
-    """Decode one request entry (``family`` plus keyword parameters)."""
+    """Decode one request entry (``family`` plus keyword parameters).
+
+    A ``deadline_ms`` key (milliseconds, non-negative number) becomes the
+    request's relative :attr:`~repro.serve.request.Request.deadline` —
+    admission metadata, not a handler parameter:
+
+    >>> request_from_dict({"family": "pqe", "deadline_ms": 250}).deadline
+    0.25
+    """
     if not isinstance(payload, dict) or "family" not in payload:
         raise SchemaError(f"request entry needs a 'family' key: {payload!r}")
+    deadline = None
+    if "deadline_ms" in payload:
+        raw = payload["deadline_ms"]
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw < 0:
+            raise SchemaError(
+                f"'deadline_ms' must be a non-negative number, got {raw!r}"
+            )
+        deadline = raw / 1000.0
     params = {
         name: _decode_param(name, value)
         for name, value in payload.items()
-        if name != "family"
+        if name not in ("family", "deadline_ms")
     }
-    return Request.make(payload["family"], **params).validate()
+    return Request.make(
+        payload["family"], deadline=deadline, **params
+    ).validate()
 
 
 def load_request_stream(path: str | Path) -> tuple[BCQ, dict, list[Request]]:

@@ -162,6 +162,10 @@ class SessionPool:
                     "sessions": entry.sessions,
                     "annotated_databases": len(entry.canonical._annotated),
                     "memo_entries": len(entry.canonical._results),
+                    "memo_evictions": (
+                        entry.canonical._results.evictions
+                        + entry.canonical._sat_pairs.evictions
+                    ),
                 }
                 for key, entry in entries.items()
             ],

@@ -13,6 +13,13 @@ True
 'pqe(exact=True)'
 >>> Request.make("pqe").signature
 ('pqe', ())
+
+A request may carry a relative ``deadline`` (seconds from submission);
+the deadline is admission metadata, **not** identity — a deadlined
+request still coalesces with (and memo-hits) its undeadlined twin:
+
+>>> Request.make("pqe", deadline=0.5) == Request.make("pqe")
+True
 """
 
 from __future__ import annotations
@@ -35,10 +42,18 @@ class Request:
     (``pqe(exact=False)`` ≡ ``pqe()``), so equal-semantics requests carry
     equal signatures.  Instances are frozen and hashable, so they can key
     queues, in-flight tables and memo dictionaries.
+
+    ``deadline`` — optional, relative seconds from submission — is
+    excluded from equality and hashing (``compare=False``): it shapes
+    *when* the answer is still wanted, not *what* is asked, so deadlined
+    requests coalesce freely.  Expiry is enforced by the scheduler at
+    claim time and resolves the future with
+    :class:`~repro.exceptions.DeadlineExceeded` before any execution.
     """
 
     family: str
     params: Params = field(default_factory=tuple)
+    deadline: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         normalized = canonical_params(self.family, dict(self.params))
@@ -47,9 +62,11 @@ class Request:
         )
 
     @classmethod
-    def make(cls, family: str, **params) -> "Request":
+    def make(
+        cls, family: str, *, deadline: float | None = None, **params
+    ) -> "Request":
         """``Request.make("shapley_value", fact=f)`` — the ergonomic spelling."""
-        return cls(family, tuple(sorted(params.items())))
+        return cls(family, tuple(sorted(params.items())), deadline)
 
     @property
     def kwargs(self) -> dict[str, object]:

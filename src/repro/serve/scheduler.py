@@ -1,4 +1,4 @@
-"""Request scheduler: thread-safe queueing, single-flight, sweep batching.
+"""Request scheduler: queueing, single-flight, batching, fault tolerance.
 
 The scheduler turns a stream of :class:`~repro.serve.request.Request`
 objects into session work on a pool of worker threads, with two
@@ -17,6 +17,33 @@ serving-layer optimizations the one-shot front-ends cannot express:
   worker — per-fact requests serialize on the session's Shapley lock
   anyway, so claiming them frees the other workers for other families.
 
+On top of that sits the robustness layer (all features default-off, so an
+unconfigured scheduler behaves — and costs — exactly like the
+pre-robustness one):
+
+* **admission control** (:class:`~repro.serve.admission.AdmissionControl`)
+  — a bounded pending queue (reject with
+  :class:`~repro.exceptions.QueueFullError` or shed the oldest queued
+  request), per-family token-bucket rate limiting, and per-request
+  deadlines checked **at claim time**: an expired request resolves with
+  :class:`~repro.exceptions.DeadlineExceeded` before any execution, so
+  queued-but-dead work costs nothing;
+* **retries** (:class:`~repro.serve.admission.RetryPolicy`) — transient
+  execution failures retry with exponential backoff + jitter under a
+  per-request budget;
+* **worker supervision** — a worker that dies on an escaped exception
+  (a bug, or an injected :class:`~repro.serve.faults.WorkerKilled`) is
+  detected and respawned; its claimed flights are re-queued (up to
+  ``requeue_limit`` deaths per flight) or failed with
+  :class:`~repro.exceptions.TransientError` — never stranded;
+* **circuit breaking** (:class:`~repro.serve.admission.CircuitBreaker`) —
+  repeated kernel failures degrade a session's tier to the batched
+  kernels (bit-identical results) and, if failures persist, fail requests
+  fast with :class:`~repro.exceptions.CircuitOpenError` until a cool-down;
+* **fault injection** (:class:`~repro.serve.faults.FaultInjector`) — the
+  seeded chaos harness behind the ``tests/test_faults.py`` suite; when
+  installed it also supplies the scheduler's clock (skewable).
+
 Execution itself goes through
 :meth:`~repro.engine.session.EngineSession.request`, so every answer is
 memoized under its signature + database-version fingerprint and stays
@@ -27,11 +54,21 @@ order).
 from __future__ import annotations
 
 import queue
+import random
 import threading
-from concurrent.futures import Future
+import time
+from concurrent.futures import Future, InvalidStateError
 
 from repro.engine.session import EngineSession
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    QueueFullError,
+    ReproError,
+    TransientError,
+)
+from repro.serve.admission import AdmissionControl, CircuitBreaker, RetryPolicy
+from repro.serve.faults import FaultInjector
 from repro.serve.request import Request
 
 #: Per-fact families answerable from one whole-instance sweep.
@@ -44,15 +81,21 @@ _SHUTDOWN = object()
 
 
 class _Flight:
-    """One in-flight signature: the execution every duplicate attaches to."""
+    """One in-flight signature: the execution every duplicate attaches to.
 
-    __slots__ = ("session", "request", "futures", "claimed")
+    ``entries`` pairs each attached future with its absolute expiry (or
+    ``None``); ``requeues`` counts worker deaths survived, bounding how
+    often supervision may re-queue the flight before failing it.
+    """
+
+    __slots__ = ("session", "request", "entries", "claimed", "requeues")
 
     def __init__(self, session: EngineSession, request: Request):
         self.session = session
         self.request = request
-        self.futures: list[Future] = []
+        self.entries: list[tuple[Future, float | None]] = []
         self.claimed = False
+        self.requeues = 0
 
 
 class Scheduler:
@@ -64,21 +107,61 @@ class Scheduler:
         Worker-thread count (≥ 1).  Results are independent of the count —
         the concurrency stress tests assert bit-identical answers against
         serial evaluation for every tier.
+    admission:
+        Admission policy (queue bound, rate limits, default deadline).
+        Defaults to a no-limits :class:`AdmissionControl`.
+    retry:
+        Retry policy for transient failures.  Defaults to no retries.
+    breaker:
+        Optional per-session :class:`CircuitBreaker`.
+    faults:
+        Optional seeded :class:`FaultInjector`; when given it also
+        supplies the scheduler's clock (so deadlines and breaker
+        cool-downs honor injected skew).
+    requeue_limit:
+        How many worker deaths one flight survives (re-queued each time)
+        before its futures fail with :class:`TransientError`.
     """
 
-    def __init__(self, workers: int = 4):
+    def __init__(
+        self,
+        workers: int = 4,
+        *,
+        admission: AdmissionControl | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        faults: FaultInjector | None = None,
+        requeue_limit: int = 5,
+    ):
         if workers < 1:
             raise ReproError(f"worker count must be positive, got {workers}")
         self.workers = workers
+        self.requeue_limit = requeue_limit
+        self._admission = admission if admission is not None else AdmissionControl()
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breaker = breaker
+        self._faults = faults
+        self._clock = faults.clock if faults is not None else time.monotonic
+        self._retry_rng = (
+            faults.retry_rng() if faults is not None else random.Random(0x5EED)
+        )
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._pending: dict[tuple, _Flight] = {}
+        self._queued = 0  # unclaimed flights (the bounded-queue depth)
         self._closed = False
         self._submitted = 0
         self._coalesced = 0
         self._executed = 0
         self._sweeps = 0
         self._swept_requests = 0
+        self._sweep_failures = 0
+        self._timeouts = 0
+        self._retries = 0
+        self._worker_deaths = 0
+        self._respawns = 0
+        self._requeued = 0
+        self._unresolved_at_close = 0
         self._threads = [
             threading.Thread(
                 target=self._work, name=f"repro-serve-{index}", daemon=True
@@ -96,27 +179,76 @@ class Scheduler:
 
         A request whose signature is already in flight on the same session
         coalesces onto the existing execution instead of enqueueing.
+        Admission control runs first: an open circuit raises
+        :class:`CircuitOpenError`, a dry token bucket
+        :class:`~repro.exceptions.RateLimitedError`, and a full queue
+        :class:`QueueFullError` (or sheds the oldest queued request,
+        depending on the policy).
         """
         request.validate()
         key = (id(session), request.signature)
         future: Future = Future()
-        with self._lock:
-            if self._closed:
-                raise ReproError("scheduler is closed")
-            self._submitted += 1
-            flight = self._pending.get(key)
-            if flight is not None:
-                flight.futures.append(future)
-                self._coalesced += 1
-                return future
-            flight = _Flight(session, request)
-            flight.futures.append(future)
-            self._pending[key] = flight
-            # Enqueue under the lock: close() also sets _closed under it,
-            # so every accepted flight's key is in the queue before the
-            # shutdown sentinels — no future can be left unserved.
-            self._queue.put(key)
-        return future
+        now = self._clock()
+        shed: list[tuple[Future, BaseException]] = []
+        try:
+            with self._lock:
+                if self._closed:
+                    raise ReproError("scheduler is closed")
+                if self._breaker is not None and self._breaker.reject(
+                    session, now
+                ):
+                    raise CircuitOpenError(
+                        "circuit open for this session; retry after cool-down"
+                    )
+                self._admission.admit(request.family, now)
+                expiry = self._admission.expiry_for(request, now)
+                self._submitted += 1
+                flight = self._pending.get(key)
+                if flight is not None:
+                    flight.entries.append((future, expiry))
+                    self._coalesced += 1
+                    return future
+                limit = self._admission.queue_limit
+                if limit is not None and self._queued >= limit:
+                    if self._admission.shed_policy == "reject":
+                        self._admission.count_rejected()
+                        self._submitted -= 1
+                        raise QueueFullError(
+                            f"request queue is full "
+                            f"({self._queued}/{limit} pending)"
+                        )
+                    shed = self._shed_oldest_locked(limit)
+                flight = _Flight(session, request)
+                flight.entries.append((future, expiry))
+                self._pending[key] = flight
+                self._queued += 1
+                # Enqueue under the lock: close() also sets _closed under
+                # it, so every accepted flight's key is in the queue before
+                # the shutdown sentinels — no future can be left unserved.
+                self._queue.put(key)
+            return future
+        finally:
+            for victim, error in shed:
+                self._resolve(victim, None, error)
+
+    def _shed_oldest_locked(
+        self, limit: int
+    ) -> list[tuple[Future, BaseException]]:
+        """Drop the oldest unclaimed flight(s) to make room (lock held)."""
+        shed: list[tuple[Future, BaseException]] = []
+        for key, flight in list(self._pending.items()):
+            if self._queued < limit:
+                break
+            if flight.claimed:
+                continue
+            del self._pending[key]
+            self._queued -= 1
+            self._admission.count_shed()
+            error = QueueFullError(
+                f"shed from a full request queue (limit {limit})"
+            )
+            shed.extend((future, error) for future, _expiry in flight.entries)
+        return shed
 
     # ------------------------------------------------------------------
     # Worker side
@@ -126,23 +258,91 @@ class Scheduler:
             key = self._queue.get()
             if key is _SHUTDOWN:
                 return
-            with self._lock:
-                flight = self._pending.get(key)
-                if flight is None or flight.claimed:
-                    continue  # already served (or claimed into a batch)
-                flight.claimed = True
-                batch = [(key, flight)]
+            batch = self._claim(key)
+            if not batch:
+                continue
+            try:
+                if self._faults is not None:
+                    self._faults.on_claim()
+                self._execute(batch)
+            except BaseException as error:
+                # Supervision: recover the claimed flights, respawn a
+                # replacement worker, and let this thread die.
+                self._recover(batch, error)
+                return
+
+    def _claim_one_locked(
+        self,
+        key: tuple,
+        flight: _Flight,
+        now: float,
+        to_resolve: list[tuple[Future, BaseException | None, object]],
+    ) -> bool:
+        """Claim *flight* for execution, enforcing deadlines and the breaker.
+
+        Expired entries resolve with :class:`DeadlineExceeded` — checked
+        here, at claim time, so queued-but-dead work never executes.
+        Returns ``False`` when nothing is left to execute (the flight is
+        then dropped from the pending table).
+        """
+        live = []
+        for future, expiry in flight.entries:
+            if expiry is not None and now >= expiry:
+                self._timeouts += 1
+                to_resolve.append(
+                    (future, DeadlineExceeded(
+                        f"deadline expired before execution: {flight.request}"
+                    ), None)
+                )
+            else:
+                live.append((future, expiry))
+        flight.entries = live
+        if not live:
+            del self._pending[key]
+            self._queued -= 1
+            return False
+        if self._breaker is not None and self._breaker.reject(
+            flight.session, now
+        ):
+            error = CircuitOpenError(
+                "circuit open for this session; retry after cool-down"
+            )
+            to_resolve.extend((future, error, None) for future, _ in live)
+            del self._pending[key]
+            self._queued -= 1
+            return False
+        flight.claimed = True
+        self._queued -= 1
+        return True
+
+    def _claim(self, key: tuple) -> list[tuple[tuple, _Flight]]:
+        """Claim the flight behind *key* plus any batchable siblings."""
+        now = self._clock()
+        to_resolve: list = []
+        batch: list[tuple[tuple, _Flight]] = []
+        with self._lock:
+            flight = self._pending.get(key)
+            if (
+                flight is not None
+                and not flight.claimed
+                and self._claim_one_locked(key, flight, now, to_resolve)
+            ):
+                batch.append((key, flight))
                 if flight.request.family in _SWEEPS:
-                    for other_key, other in self._pending.items():
+                    for other_key, other in list(self._pending.items()):
                         if (
                             other is not flight
                             and not other.claimed
                             and other.session is flight.session
                             and other.request.family == flight.request.family
+                            and self._claim_one_locked(
+                                other_key, other, now, to_resolve
+                            )
                         ):
-                            other.claimed = True
                             batch.append((other_key, other))
-            self._execute(batch)
+        for future, error, value in to_resolve:
+            self._resolve(future, value, error)
+        return batch
 
     def _sweep_pays(self, session: EngineSession, batch_size: int) -> bool:
         """Whether one full sweep beats ``batch_size`` per-fact reductions.
@@ -158,6 +358,33 @@ class Scheduler:
             return False
         return 2 * batch_size >= endogenous
 
+    def _execute_flight(
+        self, session: EngineSession, family: str, flight: _Flight
+    ) -> tuple[_Flight, object, BaseException | None]:
+        """One flight's execution: fault injection, retries, breaker votes."""
+        attempts = self._retry.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                if self._faults is not None:
+                    self._faults.before_attempt()
+                value = session.request(family, **flight.request.kwargs)
+            except BaseException as error:
+                if self._breaker is not None:
+                    self._breaker.record_failure(session, error, self._clock())
+                if attempt + 1 < attempts and self._retry.retriable(error):
+                    with self._lock:
+                        self._retries += 1
+                    delay = self._retry.delay_for(attempt, self._retry_rng)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                return (flight, None, error)
+            else:
+                if self._breaker is not None:
+                    self._breaker.record_success(session, self._clock())
+                return (flight, value, None)
+        raise AssertionError("unreachable: the retry loop always returns")
+
     def _execute(self, batch: list[tuple[tuple, _Flight]]) -> None:
         first = batch[0][1]
         session = first.session
@@ -169,22 +396,22 @@ class Scheduler:
             and self._sweep_pays(session, len(batch))
         ):
             try:
+                if self._faults is not None:
+                    self._faults.before_attempt()
                 session.request(sweep_family)
                 with self._lock:
                     self._sweeps += 1
                     self._swept_requests += len(batch)
             except Exception:
-                # Per-flight execution below surfaces the error on the
-                # request(s) it actually belongs to.
-                pass
+                # Counted, never swallowed silently: the batch falls
+                # through to per-flight execution below, which surfaces
+                # the error on the request(s) it actually belongs to (and
+                # retries transient failures per flight).
+                with self._lock:
+                    self._sweep_failures += 1
         outcomes = []
         for _key, flight in batch:
-            try:
-                outcomes.append(
-                    (flight, session.request(family, **flight.request.kwargs), None)
-                )
-            except BaseException as error:
-                outcomes.append((flight, None, error))
+            outcomes.append(self._execute_flight(session, family, flight))
         with self._lock:
             self._executed += len(batch)
             resolved = []
@@ -193,38 +420,125 @@ class Scheduler:
                     del self._pending[key]
                 # Snapshot under the lock: a duplicate submitted after this
                 # point starts a fresh flight (served by the memo).
-                resolved.append((list(flight.futures), value, error))
-        for futures, value, error in resolved:
-            for future in futures:
-                # A future cancelled while queued must be skipped — calling
-                # set_result on it raises InvalidStateError and would kill
-                # this worker thread, stranding every other pending request.
-                # Once this transition succeeds nothing else can cancel it.
-                if not future.set_running_or_notify_cancel():
+                resolved.append((list(flight.entries), value, error))
+        for entries, value, error in resolved:
+            for future, _expiry in entries:
+                self._resolve(future, value, error)
+
+    @staticmethod
+    def _resolve(
+        future: Future, value: object, error: BaseException | None
+    ) -> None:
+        """Resolve *future*, tolerating cancellation and double resolution.
+
+        A future cancelled while queued must be skipped — calling
+        ``set_result`` on it raises ``InvalidStateError`` and would kill
+        the worker thread, stranding every other pending request.  A
+        future already failed by ``close(timeout=…)`` while its execution
+        straggled is likewise left alone.
+        """
+        try:
+            if not future.set_running_or_notify_cancel():
+                return
+            if error is None:
+                future.set_result(value)
+            else:
+                future.set_exception(error)
+        except InvalidStateError:
+            pass
+
+    def _recover(self, batch: list[tuple[tuple, _Flight]], error: BaseException) -> None:
+        """Worker supervision: re-queue or fail the dead worker's flights.
+
+        Called from the dying worker thread itself.  Each claimed flight is
+        re-queued (so a surviving worker serves it) unless it already
+        survived ``requeue_limit`` deaths or the scheduler is closing — in
+        both cases its futures fail with :class:`TransientError` instead of
+        stranding.  A replacement worker is spawned unless closing.
+        """
+        to_fail: list[tuple[Future, float | None]] = []
+        replacement = None
+        with self._lock:
+            self._worker_deaths += 1
+            respawn = not self._closed
+            for key, flight in batch:
+                if self._pending.get(key) is not flight:
                     continue
-                if error is None:
-                    future.set_result(value)
+                if respawn and flight.requeues < self.requeue_limit:
+                    flight.requeues += 1
+                    flight.claimed = False
+                    self._queued += 1
+                    self._requeued += 1
+                    self._queue.put(key)
                 else:
-                    future.set_exception(error)
+                    del self._pending[key]
+                    to_fail.extend(flight.entries)
+            if respawn:
+                self._respawns += 1
+                replacement = threading.Thread(
+                    target=self._work,
+                    name=f"repro-serve-respawn-{self._respawns}",
+                    daemon=True,
+                )
+                current = threading.current_thread()
+                if current in self._threads:
+                    self._threads.remove(current)
+                self._threads.append(replacement)
+        if to_fail:
+            wrapped = TransientError(
+                f"worker thread died while serving this request: {error!r}"
+            )
+            for future, _expiry in to_fail:
+                self._resolve(future, None, wrapped)
+        if replacement is not None:
+            replacement.start()
 
     # ------------------------------------------------------------------
     # Lifecycle / observability
     # ------------------------------------------------------------------
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True, timeout: float | None = None) -> None:
         """Stop accepting requests, drain the queue, join the workers.
 
         Already-submitted requests are still executed (the shutdown
         sentinels queue behind them); ``wait=False`` skips the join.
+        ``timeout`` bounds the total join time, so a wedged worker cannot
+        hang ``close(wait=True)`` forever.  After the join, every accepted
+        future is guaranteed resolved: any flight still pending (a worker
+        crashed after the sentinels were queued, or the timeout fired
+        first) fails with :class:`ReproError` rather than stranding its
+        futures.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._threads:
+            threads = list(self._threads)
+        for _ in threads:
             self._queue.put(_SHUTDOWN)
-        if wait:
-            for thread in self._threads:
-                thread.join()
+        if not wait:
+            return
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        for thread in threads:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+        leftovers: list[tuple[Future, float | None]] = []
+        with self._lock:
+            for key, flight in list(self._pending.items()):
+                leftovers.extend(flight.entries)
+                del self._pending[key]
+            self._queued = 0
+            self._unresolved_at_close += len(leftovers)
+        if leftovers:
+            error = ReproError(
+                "scheduler closed before this request resolved"
+            )
+            for future, _expiry in leftovers:
+                self._resolve(future, None, error)
 
     def __enter__(self) -> "Scheduler":
         return self
@@ -232,8 +546,16 @@ class Scheduler:
     def __exit__(self, *_exc) -> None:
         self.close()
 
-    def stats(self) -> dict[str, int]:
-        """Work counters: submissions, coalesced duplicates, sweep batches."""
+    def stats(self) -> dict:
+        """Work + robustness counters (submissions, rejections, retries…).
+
+        Flat keys cover the headline counters the CLI prints; the nested
+        ``admission``/``breaker``/``faults`` entries carry each policy
+        object's full view (``breaker``/``faults`` are ``None`` when not
+        installed).
+        """
+        admission = self._admission.stats()
+        breaker = self._breaker.stats() if self._breaker is not None else None
         with self._lock:
             return {
                 "workers": self.workers,
@@ -242,7 +564,27 @@ class Scheduler:
                 "executed": self._executed,
                 "sweeps": self._sweeps,
                 "swept_requests": self._swept_requests,
+                "sweep_failures": self._sweep_failures,
                 "pending": len(self._pending),
+                "queued": self._queued,
+                "rejected": admission["rejected"],
+                "shed": admission["shed"],
+                "rate_limited": admission["rate_limited"],
+                "timeouts": self._timeouts,
+                "retries": self._retries,
+                "worker_deaths": self._worker_deaths,
+                "worker_respawns": self._respawns,
+                "requeued": self._requeued,
+                "unresolved_at_close": self._unresolved_at_close,
+                "breaker_trips": breaker["trips"] if breaker else 0,
+                "breaker_open_rejections": (
+                    breaker["open_rejections"] if breaker else 0
+                ),
+                "admission": admission,
+                "breaker": breaker,
+                "faults": (
+                    self._faults.stats() if self._faults is not None else None
+                ),
             }
 
     def __repr__(self) -> str:

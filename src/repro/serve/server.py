@@ -39,6 +39,8 @@ from typing import Iterable, Sequence
 from repro.engine import Engine
 from repro.exceptions import ReproError
 from repro.query.bcq import BCQ
+from repro.serve.admission import AdmissionControl, CircuitBreaker, RetryPolicy
+from repro.serve.faults import FaultInjector
 from repro.serve.pool import SessionPool
 from repro.serve.request import Request
 from repro.serve.scheduler import Scheduler
@@ -59,6 +61,19 @@ class Server:
         servers; the server then does **not** close the pool on exit.
     workers:
         Scheduler worker-thread count.
+    admission:
+        :class:`~repro.serve.admission.AdmissionControl` — bounded queue,
+        per-family rate limits and default deadline.  Defaults to
+        no-limits admission (the pre-robustness behavior).
+    retry:
+        :class:`~repro.serve.admission.RetryPolicy` for transient
+        execution failures.  Defaults to no retries.
+    breaker:
+        Optional :class:`~repro.serve.admission.CircuitBreaker` degrading
+        (then failing fast) sessions with repeated kernel failures.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultInjector` — the seeded
+        chaos harness (tests only).
     **data:
         The session data sources (``database=``, ``probabilistic=``,
         ``exogenous=``/``endogenous=``, ``repair=``, ``annotated=`` — see
@@ -72,6 +87,10 @@ class Server:
         engine: Engine | None = None,
         pool: SessionPool | None = None,
         workers: int = 4,
+        admission: AdmissionControl | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        faults: FaultInjector | None = None,
         **data,
     ):
         if pool is not None and engine is not None:
@@ -82,7 +101,13 @@ class Server:
         self.pool = pool or SessionPool(engine)
         try:
             self.session = self.pool.session(query, **data)
-            self.scheduler = Scheduler(workers=workers)
+            self.scheduler = Scheduler(
+                workers=workers,
+                admission=admission,
+                retry=retry,
+                breaker=breaker,
+                faults=faults,
+            )
         except BaseException:
             # A failed construction (bad workers, bad data sources) must
             # not leak invalidation hooks onto the caller's databases.
