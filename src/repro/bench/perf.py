@@ -13,7 +13,11 @@ Two kinds of measurements:
   tiers (bit-identical for the exact carriers).  Array timings run against
   the cached columnar views (the session serving story): the dict → column
   materialization is paid on the first run and amortized thereafter, which
-  best-of-N timing reflects.
+  best-of-N timing reflects.  With numpy the sharded process-parallel tier
+  (``kernel_mode="sharded"``, auto-selection threshold forced to zero) is
+  timed as well, and the largest E2/``res`` configurations run a
+  1/2/4/8-process ``shard_scaling`` sweep — interpret its curve against
+  ``environment.cpu_count``.
 * **amortized session throughput** (the ``engine`` scenario) — replays a
   mixed request stream (PQE + Shapley ``#Sat`` + resilience, several rounds)
   over **one** database, once through the one-shot front-ends (fresh
@@ -65,83 +69,151 @@ from repro.workloads.generators import (
 #: v4 added the ``serve`` scenario (scheduler throughput and p50/p95
 #: latency per worker count, one run per execution tier); v5 extends the
 #: three-way scalar/batched/array runs to the vector-carrier experiments
-#: (E4 bag-set, E6 Shapley) served by the packed columnar tier.
-SCHEMA_VERSION = 5
+#: (E4 bag-set, E6 Shapley) served by the packed columnar tier; v6 adds
+#: the process-parallel **sharded** tier (``sharded_s`` per run, a serve
+#: leg, and the ``shard_scaling`` worker sweeps on E2/``res``) plus
+#: ``cpu_count`` in the environment so scaling numbers are interpretable.
+SCHEMA_VERSION = 6
 
 
 def environment_metadata() -> dict:
     """Interpreter/platform/numpy metadata recorded in the document."""
+    import os
+
     np = numpy_or_none()
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "numpy": "absent" if np is None else np.__version__,
     }
 
 
 def available_tiers() -> list[str]:
-    """The execution tiers this process can run (array needs numpy)."""
+    """The execution tiers this process can run (array/sharded need numpy)."""
     tiers = ["scalar", "batched"]
     if numpy_or_none() is not None:
-        tiers.append("array")
+        tiers.extend(["array", "sharded"])
     return tiers
 
 
 def _measure_plan(
-    query, annotated: KDatabase, repeats: int
+    query, annotated: KDatabase, repeats: int, tier: str | None = None
 ) -> tuple[dict, dict]:
     """Time one compiled plan over *annotated* on every available tier.
 
     The annotated database is built once and the plan compiled once, so the
     timings isolate the engine (Algorithm 1's ⊕-projections and ⊗-merges).
     Returns the timing record and a ``tier → result`` mapping for the
-    caller's agreement check; the ``array`` entry is present only when the
-    monoid has an array kernel and numpy is importable.
+    caller's agreement check; the ``array``/``sharded`` entries are present
+    only when the monoid has an array kernel and numpy is importable.  With
+    *tier* given, only that tier is timed against the scalar baseline
+    (``repro bench --kernel-mode sharded``); the sharded leg forces the
+    auto-selection threshold to zero so it measures true process-parallel
+    execution rather than the small-input delegation path.
     """
     plan = compile_plan(query)
     scalar_time, scalar_report = time_callable(
         lambda: execute_plan(plan, annotated, kernel_mode="scalar"),
         repeats=repeats,
     )
-    kernel_time, kernel_report = time_callable(
-        lambda: execute_plan(plan, annotated, kernel_mode="batched"),
-        repeats=repeats,
-    )
-    record = {
-        "scalar_s": scalar_time,
-        "kernel_s": kernel_time,
-        "speedup": scalar_time / max(kernel_time, 1e-12),
-    }
-    results = {
-        "scalar": scalar_report.result,
-        "kernel": kernel_report.result,
-    }
-    if array_kernel_for(annotated.monoid) is not None:
+    record = {"scalar_s": scalar_time}
+    results = {"scalar": scalar_report.result}
+    if tier in (None, "batched"):
+        kernel_time, kernel_report = time_callable(
+            lambda: execute_plan(plan, annotated, kernel_mode="batched"),
+            repeats=repeats,
+        )
+        record["kernel_s"] = kernel_time
+        record["speedup"] = scalar_time / max(kernel_time, 1e-12)
+        results["kernel"] = kernel_report.result
+    has_array = array_kernel_for(annotated.monoid) is not None
+    if has_array and tier in (None, "array", "auto"):
         array_time, array_report = time_callable(
             lambda: execute_plan(plan, annotated, kernel_mode="array"),
             repeats=repeats,
         )
         record["array_s"] = array_time
         record["array_speedup"] = scalar_time / max(array_time, 1e-12)
-        record["array_vs_kernel"] = kernel_time / max(array_time, 1e-12)
+        if "kernel_s" in record:
+            record["array_vs_kernel"] = record["kernel_s"] / max(
+                array_time, 1e-12
+            )
         results["array"] = array_report.result
+    if has_array and tier in (None, "sharded"):
+        from repro.core.sharded import shard_config
+
+        def sharded_run():
+            with shard_config(threshold=0):
+                return execute_plan(plan, annotated, kernel_mode="sharded")
+
+        sharded_time, sharded_report = time_callable(
+            sharded_run, repeats=repeats
+        )
+        record["sharded_s"] = sharded_time
+        record["sharded_speedup"] = scalar_time / max(sharded_time, 1e-12)
+        if "array_s" in record:
+            record["sharded_vs_array"] = record["array_s"] / max(
+                sharded_time, 1e-12
+            )
+        results["sharded"] = sharded_report.result
     return record, results
 
 
-def perf_e2_pqe(quick: bool = False, repeats: int = 3) -> dict:
+def _shard_scaling(
+    query, annotated: KDatabase, repeats: int, params: dict,
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+) -> dict | None:
+    """The 1/2/4/8-process scaling sweep on one (largest) configuration.
+
+    Times the sharded tier at each worker count (threshold forced to zero,
+    shard count pinned to the worker count so the partitioning matches the
+    parallelism) and reports each count's speedup over the 1-process run.
+    Interpret against ``environment.cpu_count``: on a single-CPU host the
+    curve is flat-to-negative by construction — the sweep still exercises
+    the multi-process data path and records honest numbers.
+    """
+    from repro.core.sharded import shard_config
+
+    if array_kernel_for(annotated.monoid) is None:
+        return None
+    plan = compile_plan(query)
+    sweep: dict[str, dict] = {}
+    base_time = None
+    for workers in worker_counts:
+
+        def sharded_run(workers=workers):
+            with shard_config(workers=workers, shards=workers, threshold=0):
+                return execute_plan(plan, annotated, kernel_mode="sharded")
+
+        elapsed, _report = time_callable(sharded_run, repeats=repeats)
+        if base_time is None:
+            base_time = elapsed
+        sweep[str(workers)] = {
+            "sharded_s": elapsed,
+            "speedup_vs_1": base_time / max(elapsed, 1e-12),
+        }
+    return {"params": params, "workers": sweep}
+
+
+def perf_e2_pqe(
+    quick: bool = False, repeats: int = 3, tier: str | None = None
+) -> dict:
     """E2: PQE on the Eq. (1) query — float probabilities, tolerance check.
 
     The sweep extends to |D| ≈ 32000, where the columnar tier's advantage
     over the batched kernels (C-level grouping and alignment vs per-tuple
-    dict work) is clearly visible.
+    dict work) is clearly visible.  The largest configuration additionally
+    runs the 1/2/4/8-process ``shard_scaling`` sweep.
     """
     sizes = (300, 900) if quick else (500, 1000, 2000, 4000, 8000, 16000, 32000)
     repeats = 1 if quick else repeats
     query = q_eq1()
     runs = []
     agree = True
+    annotated = None
     for size in sizes:
         database = random_probabilistic_database(
             query, facts_per_relation=size // 3,
@@ -150,22 +222,32 @@ def perf_e2_pqe(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, ProbabilityMonoid(), database.facts(), database.probability
         )
-        record, results = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats, tier)
         record["params"] = {"|D|": len(database)}
         record["abs_delta"] = max(
             abs(results["scalar"] - value) for value in results.values()
         )
         agree = agree and record["abs_delta"] <= 1e-9
         runs.append(record)
-    return {
+    document = {
         "title": "PQE (Theorem 5.8): marginal probability on q_eq1",
         "agreement": "max |Δ| ≤ 1e-9" if agree else "DISAGREEMENT",
         "agree": agree,
         "runs": runs,
     }
+    if tier in (None, "sharded") and annotated is not None:
+        counts = (1, 2) if quick else (1, 2, 4, 8)
+        scaling = _shard_scaling(
+            query, annotated, repeats, runs[-1]["params"], counts
+        )
+        if scaling is not None:
+            document["shard_scaling"] = scaling
+    return document
 
 
-def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
+def perf_e4_bsm(
+    quick: bool = False, repeats: int = 3, tier: str | None = None
+) -> dict:
     """E4: bag-set maximization — exact vectors, identity check.
 
     The array leg runs the packed columnar tier: ``(n, θ+1)`` int64 rows
@@ -188,7 +270,7 @@ def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, monoid, facts, bagset_psi(instance, monoid)
         )
-        record, results = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats, tier)
         record["params"] = {
             "|D|": len(instance.database),
             "|Dr|": len(instance.repair_database),
@@ -207,7 +289,9 @@ def perf_e4_bsm(quick: bool = False, repeats: int = 3) -> dict:
     }
 
 
-def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
+def perf_e6_shapley(
+    quick: bool = False, repeats: int = 3, tier: str | None = None
+) -> dict:
     """E6: the Shapley ``#Sat`` vector — exact big-int vectors.
 
     The array leg runs the packed columnar tier: trimmed ``(n, 2, w)``
@@ -232,7 +316,7 @@ def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, monoid, facts, shapley_psi(instance, monoid)
         )
-        record, results = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats, tier)
         record["params"] = {
             "|Dx|": len(instance.exogenous),
             "|Dn|": instance.endogenous_count,
@@ -250,13 +334,17 @@ def perf_e6_shapley(quick: bool = False, repeats: int = 3) -> dict:
     }
 
 
-def perf_resilience(quick: bool = False, repeats: int = 3) -> dict:
+def perf_resilience(
+    quick: bool = False, repeats: int = 3, tier: str | None = None
+) -> dict:
     """``res``: the resilience stream — flat ``(+, min)`` float costs.
 
     Classical resilience (every fact endogenous, unit deletion costs) on a
     2-branch star over growing databases.  Costs are integer-valued floats,
-    so ``add.reduceat`` sums are order-independent and all three tiers must
-    agree bit-identically.
+    so ``add.reduceat`` sums are order-independent and all tiers (the
+    sharded tier included — per-shard folds then one final ⊕-fold) must
+    agree bit-identically.  The largest configuration additionally runs
+    the 1/2/4/8-process ``shard_scaling`` sweep.
     """
     sizes = (300,) if quick else (2000, 8000, 32000)
     repeats = 1 if quick else repeats
@@ -264,6 +352,7 @@ def perf_resilience(quick: bool = False, repeats: int = 3) -> dict:
     monoid = ResilienceMonoid()
     runs = []
     agree = True
+    annotated = None
     for size in sizes:
         database = random_probabilistic_database(
             query, facts_per_relation=size // 3,
@@ -276,19 +365,27 @@ def perf_resilience(quick: bool = False, repeats: int = 3) -> dict:
         annotated = KDatabase.annotate(
             query, monoid, database.facts(), psi
         )
-        record, results = _measure_plan(query, annotated, repeats)
+        record, results = _measure_plan(query, annotated, repeats, tier)
         record["params"] = {"|D|": len(database)}
         record["identical"] = all(
             value == results["scalar"] for value in results.values()
         )
         agree = agree and record["identical"]
         runs.append(record)
-    return {
+    document = {
         "title": "Resilience stream (Question 2): unit-cost (+, min) on a 2-branch star",
         "agreement": "bit-identical" if agree else "DISAGREEMENT",
         "agree": agree,
         "runs": runs,
     }
+    if tier in (None, "sharded") and annotated is not None:
+        counts = (1, 2) if quick else (1, 2, 4, 8)
+        scaling = _shard_scaling(
+            query, annotated, repeats, runs[-1]["params"], counts
+        )
+        if scaling is not None:
+            document["shard_scaling"] = scaling
+    return document
 
 
 def _values_agree(left, right) -> bool:
@@ -298,7 +395,9 @@ def _values_agree(left, right) -> bool:
     return left == right
 
 
-def perf_engine(quick: bool = False, repeats: int = 3) -> dict:
+def perf_engine(
+    quick: bool = False, repeats: int = 3, tier: str | None = None
+) -> dict:
     """Amortized many-requests-one-database throughput (EngineSession).
 
     Per configuration: a mixed stream of ``rounds × (PQE, Shapley #Sat,
@@ -491,14 +590,17 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[index]
 
 
-def perf_serve(quick: bool = False, repeats: int = 3) -> dict:
+def perf_serve(
+    quick: bool = False, repeats: int = 3, tier: str | None = None
+) -> dict:
     """``serve``: scheduler throughput/latency vs sequential one-shots.
 
-    One run per execution tier: a mixed request stream (see
-    :func:`_serve_stream`) over one probabilistic database with a
-    Shapley/resilience endogenous split, served (a) sequentially through
-    throwaway one-shot sessions — the pre-serving front-end cost model,
-    re-annotating per request — and (b) through a cold
+    One run per execution tier (the sharded tier included when numpy is
+    present, or exactly *tier* when one is requested): a mixed request
+    stream (see :func:`_serve_stream`) over one probabilistic database
+    with a Shapley/resilience endogenous split, served (a) sequentially
+    through throwaway one-shot sessions — the pre-serving front-end cost
+    model, re-annotating per request — and (b) through a cold
     :class:`~repro.serve.server.Server` at several worker counts.  Records
     throughput and p50/p95 request latency per worker count and asserts
     every served answer equals the sequential baseline bit-for-bit.
@@ -530,8 +632,9 @@ def perf_serve(quick: bool = False, repeats: int = 3) -> dict:
 
     runs = []
     agree = True
-    for tier in available_tiers():
-        engine_factory = lambda tier=tier: Engine(kernel_mode=tier)
+    tiers = available_tiers() if tier is None else [tier]
+    for run_tier in tiers:
+        engine_factory = lambda tier=run_tier: Engine(kernel_mode=tier)
 
         def one_shot():
             # The pre-serving cost model: every request pays a fresh
@@ -549,7 +652,7 @@ def perf_serve(quick: bool = False, repeats: int = 3) -> dict:
                 "|D|": len(database),
                 "|Dn|": endo_count,
                 "requests": len(requests),
-                "tier": tier,
+                "tier": run_tier,
             },
             "oneshot_s": oneshot_time,
             "workers": {},
@@ -605,30 +708,47 @@ PERF_EXPERIMENTS: dict[str, Callable[..., dict]] = {
 
 
 def _summarize(experiment: dict) -> dict:
-    """The per-experiment summary entry, derived from its executed runs."""
+    """The per-experiment summary entry, derived from its executed runs.
+
+    Every timing key is optional — a ``--kernel-mode sharded`` run records
+    no batched ``speedup`` at all — so each summary entry appears only
+    when its runs actually carry the timings it derives from.
+    """
     runs = experiment["runs"]
-    summary = {
-        "max_speedup": max(run["speedup"] for run in runs),
-        "largest_config_speedup": runs[-1]["speedup"],
-        "agree": experiment["agree"],
-    }
-    if "array_s" in runs[-1]:
-        summary["largest_config_array_speedup"] = runs[-1]["array_speedup"]
-        summary["largest_config_array_vs_kernel"] = runs[-1][
-            "array_vs_kernel"
-        ]
+    summary = {"agree": experiment["agree"]}
+    speedups = [run["speedup"] for run in runs if "speedup" in run]
+    if speedups:
+        summary["max_speedup"] = max(speedups)
+    last = runs[-1]
+    if "speedup" in last:
+        summary["largest_config_speedup"] = last["speedup"]
+    if "array_speedup" in last:
+        summary["largest_config_array_speedup"] = last["array_speedup"]
+    if "array_vs_kernel" in last:
+        summary["largest_config_array_vs_kernel"] = last["array_vs_kernel"]
+    if "sharded_speedup" in last:
+        summary["largest_config_sharded_speedup"] = last["sharded_speedup"]
+    if "sharded_vs_array" in last:
+        summary["largest_config_sharded_vs_array"] = last["sharded_vs_array"]
     return summary
 
 
 def run_perf_suite(
-    ids: list[str] | None = None, quick: bool = False, repeats: int = 3
+    ids: list[str] | None = None,
+    quick: bool = False,
+    repeats: int = 3,
+    tier: str | None = None,
 ) -> dict:
     """Run the requested perf experiments and return the JSON document.
 
     ``experiments`` and ``summary`` contain exactly the experiments that
     actually executed — a single-experiment run (``repro bench E6``) must
-    not claim results for the rest of the suite.
+    not claim results for the rest of the suite.  With *tier* given
+    (``repro bench --kernel-mode sharded``), only that tier is measured
+    against the always-present scalar baseline.
     """
+    from repro.core.algorithm import KERNEL_MODES
+
     requested = ids or list(PERF_EXPERIMENTS)
     unknown = [name for name in requested if name not in PERF_EXPERIMENTS]
     if unknown:
@@ -636,8 +756,12 @@ def run_perf_suite(
             f"unknown perf experiment id(s) {unknown}; "
             f"expected a subset of {sorted(PERF_EXPERIMENTS)}"
         )
+    if tier is not None and tier not in KERNEL_MODES:
+        raise KeyError(
+            f"unknown kernel mode {tier!r}; expected one of {KERNEL_MODES}"
+        )
     experiments = {
-        name: PERF_EXPERIMENTS[name](quick=quick, repeats=repeats)
+        name: PERF_EXPERIMENTS[name](quick=quick, repeats=repeats, tier=tier)
         for name in requested
     }
     return {
@@ -646,6 +770,7 @@ def run_perf_suite(
         "python": platform.python_version(),
         "environment": environment_metadata(),
         "tiers": available_tiers(),
+        "tier_filter": tier,
         "quick": quick,
         "experiments": experiments,
         "summary": {
@@ -665,7 +790,7 @@ def write_perf_json(document: dict, path: str | Path) -> Path:
 
 
 def _render_run(run: dict) -> str:
-    """One timing line: every ``*_s`` entry plus the speedups."""
+    """One timing line: every ``*_s`` entry plus whichever speedups exist."""
     params = ", ".join(
         f"{key}={value}" for key, value in run["params"].items()
     )
@@ -674,12 +799,18 @@ def _render_run(run: dict) -> str:
         for key, value in run.items()
         if key.endswith("_s")
     )
-    line = f"  {params:<28} {timings}  speedup {run['speedup']:.1f}x"
+    line = f"  {params:<28} {timings}"
+    if "speedup" in run:
+        line += f"  speedup {run['speedup']:.1f}x"
     if "array_vs_kernel" in run:
         line += (
             f"  array {run['array_speedup']:.1f}x"
             f" ({run['array_vs_kernel']:.1f}x vs kernel)"
         )
+    if "sharded_speedup" in run:
+        line += f"  sharded {run['sharded_speedup']:.1f}x"
+        if "sharded_vs_array" in run:
+            line += f" ({run['sharded_vs_array']:.1f}x vs array)"
     return line
 
 
@@ -704,11 +835,72 @@ def render_perf_summary(document: dict) -> str:
         if annotation is not None:
             lines.append("  -- bulk vs per-fact ψ-annotation (E6 largest) --")
             lines.append(_render_run(annotation))
+        scaling = experiment.get("shard_scaling")
+        if scaling is not None:
+            params = ", ".join(
+                f"{key}={value}" for key, value in scaling["params"].items()
+            )
+            lines.append(f"  -- shard scaling ({params}) --")
+            for workers, entry in scaling["workers"].items():
+                lines.append(
+                    f"    {workers} process(es): {entry['sharded_s']:.4f}s  "
+                    f"speedup vs 1 {entry['speedup_vs_1']:.2f}x"
+                )
         lines.append(f"  agreement: {experiment['agreement']}")
     return "\n".join(lines)
 
 
-_COMPARED_TIMINGS = ("scalar_s", "kernel_s", "array_s", "oneshot_s", "session_s")
+_COMPARED_TIMINGS = (
+    "scalar_s", "kernel_s", "array_s", "sharded_s", "oneshot_s", "session_s"
+)
+
+
+def _compare_run_pair(lines: list[str], old_run: dict, new_run: dict) -> None:
+    """Append the timing/speedup delta lines for one aligned run pair.
+
+    Every key access is guarded: documents of different schema versions
+    (a v5 artifact without ``sharded_s`` against a v6 one with it) report
+    one-sided columns as ``n/a`` instead of raising.
+    """
+    if old_run.get("params") != new_run.get("params"):
+        lines.append(
+            f"  params changed: {old_run.get('params')} → "
+            f"{new_run.get('params')} (ratios not like-for-like)"
+        )
+    for key in _COMPARED_TIMINGS:
+        if key in old_run and key in new_run:
+            ratio = old_run[key] / max(new_run[key], 1e-12)
+            lines.append(
+                f"  {key[:-2]:<10} {old_run[key]:.4f}s → "
+                f"{new_run[key]:.4f}s  ({ratio:.2f}x)"
+            )
+        elif key in new_run:
+            lines.append(
+                f"  {key[:-2]:<10} n/a (not in OLD) → {new_run[key]:.4f}s"
+            )
+        elif key in old_run:
+            lines.append(
+                f"  {key[:-2]:<10} {old_run[key]:.4f}s → n/a (not in NEW)"
+            )
+    old_speedup = old_run.get("speedup")
+    new_speedup = new_run.get("speedup")
+    if old_speedup is not None and new_speedup is not None:
+        lines.append(
+            f"  speedup    {old_speedup:.1f}x → {new_speedup:.1f}x"
+        )
+    elif new_speedup is not None:
+        lines.append(f"  speedup    n/a → {new_speedup:.1f}x")
+    elif old_speedup is not None:
+        lines.append(f"  speedup    {old_speedup:.1f}x → n/a")
+
+
+def _runs_by_tier(experiment: dict) -> dict[str, dict] | None:
+    """``tier → run`` when every run carries a tier param (serve), else None."""
+    runs = experiment.get("runs", [])
+    tiers = [run.get("params", {}).get("tier") for run in runs]
+    if not runs or any(tier is None for tier in tiers):
+        return None
+    return dict(zip(tiers, runs))
 
 
 def compare_perf_documents(old: dict, new: dict) -> str:
@@ -718,7 +910,10 @@ def compare_perf_documents(old: dict, new: dict) -> str:
     largest-configuration run: each shared timing column as
     ``old → new (ratio×)`` plus the headline speedup delta.  Experiments
     present on one side only are listed as added/removed, so a diff between
-    PRs never silently drops a workload.
+    PRs never silently drops a workload.  Tier-keyed experiments (serve)
+    are aligned by ``params["tier"]``, and a tier or timing column present
+    in only one document — a v5 artifact against a v6 one with the sharded
+    tier — is reported as ``n/a`` rather than raising.
     """
     lines = [
         "perf comparison (largest configuration per experiment):",
@@ -736,29 +931,28 @@ def compare_perf_documents(old: dict, new: dict) -> str:
         if name not in new_experiments:
             lines.append(f"== {name}: only in OLD ==")
             continue
-        old_run = old_experiments[name]["runs"][-1]
-        new_run = new_experiments[name]["runs"][-1]
+        old_by_tier = _runs_by_tier(old_experiments[name])
+        new_by_tier = _runs_by_tier(new_experiments[name])
+        if old_by_tier is not None and new_by_tier is not None:
+            lines.append(f"== {name} (per tier) ==")
+            for tier in [
+                *old_by_tier, *(t for t in new_by_tier if t not in old_by_tier)
+            ]:
+                if tier not in old_by_tier:
+                    lines.append(f"  tier {tier}: n/a (only in NEW)")
+                    continue
+                if tier not in new_by_tier:
+                    lines.append(f"  tier {tier}: n/a (only in OLD)")
+                    continue
+                lines.append(f"  tier {tier}:")
+                _compare_run_pair(
+                    lines, old_by_tier[tier], new_by_tier[tier]
+                )
+            continue
         lines.append(f"== {name} ==")
-        if old_run.get("params") != new_run.get("params"):
-            lines.append(
-                f"  params changed: {old_run.get('params')} → "
-                f"{new_run.get('params')} (ratios not like-for-like)"
-            )
-        for key in _COMPARED_TIMINGS:
-            if key in old_run and key in new_run:
-                ratio = old_run[key] / max(new_run[key], 1e-12)
-                lines.append(
-                    f"  {key[:-2]:<10} {old_run[key]:.4f}s → "
-                    f"{new_run[key]:.4f}s  ({ratio:.2f}x)"
-                )
-            elif key in new_run:
-                lines.append(
-                    f"  {key[:-2]:<10} (new tier) → {new_run[key]:.4f}s"
-                )
-        old_speedup = old_run.get("speedup")
-        new_speedup = new_run.get("speedup")
-        if old_speedup is not None and new_speedup is not None:
-            lines.append(
-                f"  speedup    {old_speedup:.1f}x → {new_speedup:.1f}x"
-            )
+        _compare_run_pair(
+            lines,
+            old_experiments[name]["runs"][-1],
+            new_experiments[name]["runs"][-1],
+        )
     return "\n".join(lines)

@@ -71,8 +71,19 @@ def _add_kernel_mode_option(subparser: argparse.ArgumentParser) -> None:
         help=(
             "execution tier: auto/array use the columnar numpy tier for "
             "flat-carrier monoids (falling back to the batched kernels), "
-            "batched forces the batched kernels, scalar the per-element "
-            "baseline"
+            "sharded fans eligible plans out across a shared-memory "
+            "process pool (see --shard-workers), batched forces the "
+            "batched kernels, scalar the per-element baseline"
+        ),
+    )
+
+
+def _add_shard_workers_option(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--shard-workers", type=int, default=None, dest="shard_workers",
+        help=(
+            "process-pool size of the sharded tier (kernel-mode sharded); "
+            "default: min(8, cpu count)"
         ),
     )
 
@@ -141,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=4, help="scheduler worker threads"
     )
+    _add_shard_workers_option(serve)
     serve.add_argument(
         "--stats", action="store_true",
         help="also print scheduler/session counters",
@@ -209,6 +221,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeats", type=int, default=3, help="best-of-N timing repeats"
     )
+    bench.add_argument(
+        "--kernel-mode",
+        dest="kernel_mode",
+        default=None,
+        choices=KERNEL_MODES,
+        help=(
+            "measure only this tier against the scalar baseline (default: "
+            "every available tier)"
+        ),
+    )
+    _add_shard_workers_option(bench)
     bench.add_argument(
         "--compare",
         nargs=2,
@@ -336,6 +359,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         load_request_stream,
     )
 
+    from repro.core.sharded import validate_worker_count
+
+    try:
+        validate_worker_count(args.workers, what="worker")
+        if args.shard_workers is not None:
+            validate_worker_count(args.shard_workers, what="shard worker")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     query, data, requests = load_request_stream(args.requests)
     if not requests:
         print("no requests in stream")
@@ -359,6 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         query,
         engine=engine,
         workers=args.workers,
+        shard_workers=args.shard_workers,
         admission=admission,
         retry=retry,
         **data,
@@ -459,8 +492,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown perf experiment id(s): {unknown}", file=sys.stderr)
         return 2
+    if args.shard_workers is not None:
+        from repro.core.sharded import set_shard_workers
+
+        set_shard_workers(args.shard_workers)
     document = run_perf_suite(
-        requested, quick=args.quick, repeats=args.repeats
+        requested, quick=args.quick, repeats=args.repeats,
+        tier=args.kernel_mode,
     )
     print(render_perf_summary(document))
     if args.json_path:

@@ -33,12 +33,18 @@ from repro.core.plan import MergeStep, Plan, PlanStep, ProjectStep, compile_plan
 StepHook = Callable[[PlanStep, KRelation], None]
 """Optional observer invoked after each executed step with its output relation."""
 
-KERNEL_MODES = ("auto", "array", "batched", "scalar")
-"""The three execution tiers (plus the auto selector):
+KERNEL_MODES = ("auto", "sharded", "array", "batched", "scalar")
+"""The four execution tiers (plus the auto selector):
 
 * ``"auto"`` — the columnar (numpy) tier when the monoid's carrier is a flat
   numeric scalar with a registered array kernel and numpy is importable,
   otherwise the batched kernels;
+* ``"sharded"`` — the process-parallel tier: key-range shards of the
+  columnar layout executed across a shared-memory
+  ``ProcessPoolExecutor`` with one final ⊕-fold in the parent (see
+  :mod:`repro.core.sharded`); delegates to the array tier for ineligible
+  queries, sub-threshold inputs, or an unhealthy pool, and from there
+  falls back exactly like ``"array"``;
 * ``"array"`` — same selection as ``auto`` (the explicit spelling used by
   benchmarks and the CLI; like ``auto`` it transparently falls back to the
   batched tier for exact carriers or when numpy is absent);
@@ -50,7 +56,7 @@ KERNEL_MODES = ("auto", "array", "batched", "scalar")
 
 
 def _kernel_context(kernel_mode: str):
-    if kernel_mode in ("auto", "array", "batched"):
+    if kernel_mode in ("auto", "sharded", "array", "batched"):
         return nullcontext()
     if kernel_mode == "scalar":
         return scalar_kernels()
@@ -62,7 +68,7 @@ def _kernel_context(kernel_mode: str):
 def _array_kernel_if_selected(kernel_mode: str, monoid):
     """The monoid's array kernel when *kernel_mode* selects the columnar
     tier, else ``None`` (also validates the mode string)."""
-    if kernel_mode in ("auto", "array"):
+    if kernel_mode in ("auto", "sharded", "array"):
         return array_kernel_for(monoid)
     if kernel_mode not in KERNEL_MODES:
         raise ReproError(
@@ -158,11 +164,15 @@ def execute_plan(
     tier.
     """
     if on_step is None:
-        report = _attempt_columnar(
-            annotated,
-            kernel_mode,
-            lambda kernel: _execute_plan_columnar(plan, annotated, kernel),
-        )
+        if kernel_mode == "sharded":
+            executor = lambda kernel: _execute_plan_sharded(  # noqa: E731
+                plan, annotated, kernel
+            )
+        else:
+            executor = lambda kernel: _execute_plan_columnar(  # noqa: E731
+                plan, annotated, kernel
+            )
+        report = _attempt_columnar(annotated, kernel_mode, executor)
         if report is not None:
             return report
     with _kernel_context(kernel_mode):
@@ -194,6 +204,32 @@ def execute_plan(
         steps_executed=len(plan.steps),
         max_live_support=max_live,
     )
+
+
+def _execute_plan_sharded(
+    plan: Plan, annotated: KDatabase[K], array_kernel
+) -> ExecutionReport:
+    """The sharded tier of :func:`execute_plan`.
+
+    Tries the process-parallel key-range execution
+    (:func:`repro.core.sharded.maybe_execute_sharded`); when it delegates —
+    ineligible query, sub-threshold input, unhealthy pool — the in-process
+    columnar tier runs instead, reusing the views already materialized for
+    the eligibility check.  ``OverflowError`` propagates to
+    :func:`_attempt_columnar` so the decline bookkeeping is shared with the
+    array tier.
+    """
+    from repro.core.sharded import maybe_execute_sharded
+
+    outcome = maybe_execute_sharded(plan, annotated, array_kernel)
+    if outcome is not None:
+        result, max_live = outcome
+        return ExecutionReport(
+            result=result,
+            steps_executed=len(plan.steps),
+            max_live_support=max_live,
+        )
+    return _execute_plan_columnar(plan, annotated, array_kernel)
 
 
 def _execute_plan_columnar(

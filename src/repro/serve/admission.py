@@ -35,14 +35,22 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+# The one worker-count validator, shared by Scheduler ``workers=``, the
+# sharded tier's process pool and the CLI's ``--workers``/
+# ``--shard-workers`` — re-exported here as part of the admission-policy
+# surface so every serving entry point agrees on the accepted range.
+from repro.core.sharded import validate_worker_count  # noqa: F401
 from repro.exceptions import RateLimitedError, ReproError, TransientError
 
 #: Shed policies :class:`AdmissionControl` accepts for a full queue.
 SHED_POLICIES = ("reject", "shed_oldest")
 
 #: Kernel modes a :class:`CircuitBreaker` may degrade *from*: only the
-#: tiers that can fall to ``degrade_to`` with bit-identical results.
-_DEGRADABLE_MODES = ("auto", "array")
+#: tiers that can fall to the next rung with bit-identical results.  The
+#: sharded tier degrades in two steps — sharded → array → ``degrade_to`` —
+#: so a broken process pool first loses only the parallelism, not the
+#: columnar layout.
+_DEGRADABLE_MODES = ("auto", "sharded", "array")
 
 
 class TokenBucket:
@@ -318,11 +326,20 @@ class CircuitBreaker:
             return True
         return not isinstance(error, ReproError)
 
+    def _can_degrade(self, session) -> bool:
+        """Whether the session's *effective* tier has a lower rung left."""
+        mode = session.kernel_mode
+        return mode in _DEGRADABLE_MODES and mode != self.degrade_to
+
     def _degrade(self, session) -> None:
-        if (
-            session.engine.kernel_mode in _DEGRADABLE_MODES
-            and session.engine.kernel_mode != self.degrade_to
-        ):
+        if not self._can_degrade(session):
+            return
+        mode = session.kernel_mode
+        if mode == "sharded" and self.degrade_to not in ("sharded", "array"):
+            # First rung of the sharded chain: drop the process pool but
+            # keep the columnar layout; a further trip reaches degrade_to.
+            session.degrade_kernel_mode("array")
+        else:
             session.degrade_kernel_mode(self.degrade_to)
 
     # ------------------------------------------------------------------
@@ -360,7 +377,13 @@ class CircuitBreaker:
                 state.status = "degraded"
                 self._trips += 1
             elif state.status == "degraded":
-                state.status = "open"
+                if self._can_degrade(session):
+                    # The sharded chain has a rung left (array → batched):
+                    # degrade again and keep probing before opening.
+                    self._degrade(session)
+                    self._trips += 1
+                else:
+                    state.status = "open"
             state.failures = 0
             state.since = now
 

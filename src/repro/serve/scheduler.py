@@ -59,6 +59,8 @@ import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 
+from repro.core import sharded
+from repro.core.sharded import validate_worker_count
 from repro.engine.session import EngineSession
 from repro.exceptions import (
     CircuitOpenError,
@@ -104,9 +106,17 @@ class Scheduler:
     Parameters
     ----------
     workers:
-        Worker-thread count (≥ 1).  Results are independent of the count —
-        the concurrency stress tests assert bit-identical answers against
-        serial evaluation for every tier.
+        Worker-thread count (validated by
+        :func:`repro.core.sharded.validate_worker_count`, the single
+        helper shared with the CLI and ``--shard-workers``).  Results are
+        independent of the count — the concurrency stress tests assert
+        bit-identical answers against serial evaluation for every tier.
+    shard_workers:
+        When set, configures the process pool of the sharded tier
+        (:mod:`repro.core.sharded`).  Worker threads running sessions of a
+        ``kernel_mode="sharded"`` engine dispatch their plan executions to
+        that shared pool, so N serve workers stop competing for one GIL —
+        the threads shape latency, the processes carry the fold work.
     admission:
         Admission policy (queue bound, rate limits, default deadline).
         Defaults to a no-limits :class:`AdmissionControl`.
@@ -132,10 +142,17 @@ class Scheduler:
         breaker: CircuitBreaker | None = None,
         faults: FaultInjector | None = None,
         requeue_limit: int = 5,
+        shard_workers: int | None = None,
     ):
-        if workers < 1:
-            raise ReproError(f"worker count must be positive, got {workers}")
+        validate_worker_count(workers, what="worker")
         self.workers = workers
+        self.shard_workers = shard_workers
+        if shard_workers is not None:
+            sharded.set_shard_workers(shard_workers)
+        if faults is not None:
+            # Chaos wiring: the injector decides, per sharded dispatch,
+            # whether to SIGKILL one pool process (see FaultPlan).
+            sharded.set_shard_fault_hook(faults.on_shard_dispatch)
         self.requeue_limit = requeue_limit
         self._admission = admission if admission is not None else AdmissionControl()
         self._retry = retry if retry is not None else RetryPolicy()
@@ -513,6 +530,8 @@ class Scheduler:
                 return
             self._closed = True
             threads = list(self._threads)
+        if self._faults is not None:
+            sharded.set_shard_fault_hook(None)
         for _ in threads:
             self._queue.put(_SHUTDOWN)
         if not wait:
@@ -580,11 +599,13 @@ class Scheduler:
                 "breaker_open_rejections": (
                     breaker["open_rejections"] if breaker else 0
                 ),
+                "shard_workers": sharded.shard_workers(),
                 "admission": admission,
                 "breaker": breaker,
                 "faults": (
                     self._faults.stats() if self._faults is not None else None
                 ),
+                "sharded": sharded.sharded_stats(),
             }
 
     def __repr__(self) -> str:

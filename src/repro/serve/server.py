@@ -61,6 +61,10 @@ class Server:
         servers; the server then does **not** close the pool on exit.
     workers:
         Scheduler worker-thread count.
+    shard_workers:
+        Optional process-pool size for the sharded tier (engines opened
+        with ``kernel_mode="sharded"``); validated by the same shared
+        helper as *workers* and forwarded to the scheduler.
     admission:
         :class:`~repro.serve.admission.AdmissionControl` — bounded queue,
         per-family rate limits and default deadline.  Defaults to
@@ -87,6 +91,7 @@ class Server:
         engine: Engine | None = None,
         pool: SessionPool | None = None,
         workers: int = 4,
+        shard_workers: int | None = None,
         admission: AdmissionControl | None = None,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
@@ -107,6 +112,7 @@ class Server:
                 retry=retry,
                 breaker=breaker,
                 faults=faults,
+                shard_workers=shard_workers,
             )
         except BaseException:
             # A failed construction (bad workers, bad data sources) must

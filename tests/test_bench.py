@@ -70,7 +70,7 @@ class TestPerfSuiteDocument:
         assert set(document["experiments"]) == {"E4"}
         assert set(document["summary"]) == {"E4"}
 
-    def test_schema_v5_fields(self):
+    def test_schema_v6_fields(self):
         from repro.bench.perf import (
             SCHEMA_VERSION,
             available_tiers,
@@ -78,17 +78,69 @@ class TestPerfSuiteDocument:
         )
 
         document = run_perf_suite(["res"], quick=True, repeats=1)
-        assert document["schema_version"] == SCHEMA_VERSION == 5
+        assert document["schema_version"] == SCHEMA_VERSION == 6
         assert document["tiers"] == available_tiers()
         environment = document["environment"]
         assert environment["python"] and environment["platform"]
         assert environment["numpy"]  # a version string or "absent"
+        assert environment["cpu_count"] >= 1
         summary = document["summary"]["res"]
         assert summary["agree"] is True
         if "array" in document["tiers"]:
             run = document["experiments"]["res"]["runs"][-1]
             assert "array_s" in run and "array_vs_kernel" in run
             assert "largest_config_array_vs_kernel" in summary
+            assert "sharded_s" in run and "sharded_vs_array" in run
+            assert "largest_config_sharded_speedup" in summary
+            scaling = document["experiments"]["res"]["shard_scaling"]
+            assert set(scaling["workers"]) == {"1", "2"}  # quick sweep
+
+    def test_compare_tolerates_one_sided_tiers(self):
+        """Satellite: a v5 artifact (no sharded timings, no sharded serve
+        leg) diffed against a v6 one must render ``n/a`` for the one-sided
+        columns/tiers instead of raising (both directions)."""
+        from repro.bench.perf import compare_perf_documents
+
+        v5 = {
+            "schema_version": 5,
+            "environment": {"numpy": "2.4.6"},
+            "experiments": {
+                "E2": {"runs": [{
+                    "params": {"|D|": 900}, "scalar_s": 1.0,
+                    "kernel_s": 0.5, "speedup": 2.0,
+                }]},
+                "serve": {"runs": [
+                    {"params": {"tier": "scalar"}, "oneshot_s": 1.0,
+                     "speedup": 1.5},
+                    {"params": {"tier": "array"}, "oneshot_s": 0.7,
+                     "speedup": 2.0},
+                ]},
+            },
+        }
+        v6 = {
+            "schema_version": 6,
+            "environment": {"numpy": "2.4.6"},
+            "experiments": {
+                "E2": {"runs": [{
+                    "params": {"|D|": 900}, "scalar_s": 1.0,
+                    "sharded_s": 0.4, "sharded_speedup": 2.5,
+                }]},
+                "serve": {"runs": [
+                    {"params": {"tier": "scalar"}, "oneshot_s": 0.9,
+                     "speedup": 1.6},
+                    {"params": {"tier": "array"}, "oneshot_s": 0.6,
+                     "speedup": 2.1},
+                    {"params": {"tier": "sharded"}, "oneshot_s": 0.6,
+                     "speedup": 2.2},
+                ]},
+            },
+        }
+        forward = compare_perf_documents(v5, v6)
+        assert "n/a (not in OLD)" in forward
+        assert "tier sharded: n/a (only in NEW)" in forward
+        backward = compare_perf_documents(v6, v5)
+        assert "n/a (not in NEW)" in backward
+        assert "tier sharded: n/a (only in OLD)" in backward
 
     def test_compare_documents_renders_deltas(self):
         from repro.bench.perf import compare_perf_documents, run_perf_suite

@@ -1,0 +1,388 @@
+"""Sharded tier ≡ array tier, bit-identically, under any shard count.
+
+The sharded tier (``kernel_mode="sharded"``) partitions the columnar
+views by contiguous ranges of the interned root-variable column, runs
+Algorithm 1 per shard in a process pool over shared-memory views, and
+⊕-folds the per-shard answers once in the parent.  These tests pin the
+correctness contract of that decomposition:
+
+* **Shard-count invariance** — for every registered flat *and* packed
+  array kernel, the sharded answer under 1/2/3/7 shards equals the array
+  tier's answer (bit-identically for exact carriers, within the bench
+  tolerance for genuine floats), including empty relations, single-tuple
+  supports and the all-rows-one-key skew that leaves most shards empty.
+* **Eligibility** — queries without a root variable (present in every
+  atom) delegate to the array tier, as do inputs below the
+  auto-selection threshold; both delegations are observable in
+  :func:`~repro.core.sharded.sharded_stats` and never change answers.
+* **The shared worker-count validator** — one helper serves ``--workers``
+  and ``--shard-workers`` (and the scheduler), with one error message.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.algebra.bagset import BagSetMonoid
+from repro.algebra.boolean import BooleanSemiring
+from repro.algebra.counting import CountingSemiring
+from repro.algebra.probability import ProbabilityMonoid
+from repro.algebra.real import RealSemiring
+from repro.algebra.resilience import ResilienceMonoid
+from repro.algebra.shapley import SatVector, ShapleyMonoid
+from repro.algebra.tropical import (
+    MaxPlusSemiring,
+    MaxTimesSemiring,
+    MinPlusSemiring,
+)
+from repro.core.algorithm import execute_plan
+from repro.core.kernels import numpy_or_none
+from repro.core.plan import compile_plan, shard_root
+from repro.core.sharded import (
+    MAX_WORKER_COUNT,
+    reset_sharded_stats,
+    shard_config,
+    shard_workers,
+    sharded_stats,
+    validate_worker_count,
+)
+from repro.db.annotated import KDatabase
+from repro.exceptions import ReproError
+from repro.query.atoms import Atom, make_atom
+from repro.query.bcq import BCQ
+from repro.query.families import q_eq1, star_query
+from repro.query.parser import parse_query
+
+numpy = numpy_or_none()
+requires_numpy = pytest.mark.skipif(numpy is None, reason="numpy not installed")
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+
+# ----------------------------------------------------------------------
+# Samplers (mirrors test_array_kernels: exact ⇒ bit-identical)
+# ----------------------------------------------------------------------
+def _flat_samplers():
+    """(monoid, annotation sampler, exact) for every flat array carrier."""
+    return [
+        (
+            ProbabilityMonoid(),
+            lambda rng: rng.choice([0.25, 0.5, 1.0, rng.random()]),
+            False,
+        ),
+        (CountingSemiring(), lambda rng: rng.randrange(1, 6), True),
+        (RealSemiring(), lambda rng: rng.choice([1.0, rng.random() * 3]), False),
+        (BooleanSemiring(), lambda rng: rng.random() < 0.8, True),
+        (
+            MinPlusSemiring(),
+            lambda rng: rng.choice([0, 1, rng.randrange(0, 9)]),
+            True,
+        ),
+        (MaxTimesSemiring(), lambda rng: rng.randrange(1, 6), True),
+        (
+            MaxPlusSemiring(),
+            lambda rng: rng.choice([0, rng.randrange(0, 9)]),
+            True,
+        ),
+        (
+            ResilienceMonoid(),
+            lambda rng: rng.choice([math.inf, 1, rng.randrange(1, 5)]),
+            True,
+        ),
+    ]
+
+
+def _random_satvector(monoid, rng):
+    length = monoid.length
+    return SatVector(
+        tuple(rng.randrange(0, 4) for _ in range(length)),
+        tuple(rng.randrange(0, 4) for _ in range(length)),
+    )
+
+
+def _random_bagset_vector(monoid, rng):
+    return tuple(sorted(rng.randrange(0, 5) for _ in range(monoid.length)))
+
+
+def _packed_samplers():
+    """(monoid, spiky sampler) pairs for both packed vector carriers."""
+    def spiky(monoid):
+        def sample(rng):
+            choice = rng.random()
+            if choice < 0.4:
+                return monoid.one
+            if choice < 0.75:
+                return monoid.star
+            if choice < 0.85:
+                return monoid.zero
+            if isinstance(monoid, ShapleyMonoid):
+                return _random_satvector(monoid, rng)
+            return _random_bagset_vector(monoid, rng)
+
+        return sample
+
+    return [
+        (monoid, spiky(monoid))
+        for monoid in (
+            BagSetMonoid(1), BagSetMonoid(6),
+            ShapleyMonoid(1), ShapleyMonoid(6),
+        )
+    ]
+
+
+def _results_agree(left, right, exact: bool) -> bool:
+    if exact:
+        return left == right
+    if isinstance(left, float) and isinstance(right, float):
+        return left == right or abs(left - right) <= 1e-9
+    return left == right
+
+
+def _random_annotated(query, monoid, sampler, rng, tuples=40, domain=6):
+    annotated = KDatabase(query, monoid)
+    for relation in annotated.relations():
+        for _ in range(tuples):
+            values = tuple(
+                rng.randrange(0, domain) for _ in range(relation.atom.arity)
+            )
+            relation.set(values, sampler(rng))
+    return annotated
+
+
+def _array_result(query, annotated):
+    plan = compile_plan(query)
+    return execute_plan(plan, annotated, kernel_mode="array").result
+
+
+def _sharded_result(query, annotated, shards):
+    plan = compile_plan(query)
+    with shard_config(shards=shards, threshold=0):
+        return execute_plan(plan, annotated, kernel_mode="sharded").result
+
+
+def _assert_invariant_under_shard_counts(query, annotated, exact):
+    """The core property: sharded ≡ array for every shard count, no fallback."""
+    expected = _array_result(query, annotated)
+    for shards in SHARD_COUNTS:
+        reset_sharded_stats()
+        actual = _sharded_result(query, annotated, shards)
+        stats = sharded_stats()
+        assert stats["dispatches"] == 1, stats
+        assert stats["fallbacks"] == 0, stats["last_error"]
+        assert _results_agree(actual, expected, exact), (
+            f"shards={shards}: {actual!r} != {expected!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard-count invariance: every flat and packed kernel
+# ----------------------------------------------------------------------
+@requires_numpy
+@pytest.mark.parametrize(
+    "monoid,sampler,exact",
+    _flat_samplers(),
+    ids=lambda value: getattr(value, "name", None),
+)
+class TestFlatShardInvariance:
+    def test_star_query(self, monoid, sampler, exact):
+        rng = random.Random(11)
+        annotated = _random_annotated(star_query(2), monoid, sampler, rng)
+        _assert_invariant_under_shard_counts(star_query(2), annotated, exact)
+
+    def test_eq1_query(self, monoid, sampler, exact):
+        rng = random.Random(13)
+        annotated = _random_annotated(q_eq1(), monoid, sampler, rng)
+        _assert_invariant_under_shard_counts(q_eq1(), annotated, exact)
+
+    def test_single_tuple_support(self, monoid, sampler, exact):
+        rng = random.Random(17)
+        annotated = _random_annotated(
+            star_query(2), monoid, sampler, rng, tuples=1, domain=1
+        )
+        _assert_invariant_under_shard_counts(star_query(2), annotated, exact)
+
+    def test_all_rows_one_key_skew(self, monoid, sampler, exact):
+        """Every root code identical: middle shards are empty, one shard
+        carries everything — still the array answer, bit-for-bit."""
+        rng = random.Random(19)
+        query = star_query(2)
+        annotated = KDatabase(query, monoid)
+        for relation in annotated.relations():
+            for suffix in range(24):
+                relation.set((0, suffix), sampler(rng))
+        _assert_invariant_under_shard_counts(query, annotated, exact)
+
+    def test_empty_relations(self, monoid, sampler, exact):
+        annotated = KDatabase(star_query(2), monoid)
+        expected = _array_result(star_query(2), annotated)
+        for shards in SHARD_COUNTS:
+            actual = _sharded_result(star_query(2), annotated, shards)
+            assert _results_agree(actual, expected, True)
+
+
+@requires_numpy
+@pytest.mark.parametrize(
+    "monoid,sampler",
+    _packed_samplers(),
+    ids=lambda value: (
+        f"{value.name}-{value.length}" if hasattr(value, "length") else None
+    ),
+)
+class TestPackedShardInvariance:
+    """The packed 2-D carriers ride the same shared-memory transport."""
+
+    def test_star_query(self, monoid, sampler):
+        rng = random.Random(23)
+        annotated = _random_annotated(
+            star_query(2), monoid, sampler, rng, tuples=24
+        )
+        _assert_invariant_under_shard_counts(star_query(2), annotated, True)
+
+    def test_all_rows_one_key_skew(self, monoid, sampler):
+        rng = random.Random(29)
+        query = star_query(2)
+        annotated = KDatabase(query, monoid)
+        for relation in annotated.relations():
+            for suffix in range(16):
+                relation.set((0, suffix), sampler(rng))
+        _assert_invariant_under_shard_counts(query, annotated, True)
+
+
+# ----------------------------------------------------------------------
+# Eligibility: root discovery and the delegation paths
+# ----------------------------------------------------------------------
+class TestShardRoot:
+    def test_star_and_eq1_roots(self):
+        assert shard_root(star_query(2)) == "X"
+        assert shard_root(q_eq1()) == "A"
+
+    def test_disconnected_query_has_no_root(self):
+        assert shard_root(parse_query("Q() :- R(X), S(Y)")) is None
+
+    def test_nullary_atom_has_no_root(self):
+        query = BCQ((make_atom("R", ("X",)), Atom("S", ())))
+        assert shard_root(query) is None
+
+    def test_tie_breaks_on_first_atom_order(self):
+        query = parse_query("Q() :- R(X,Y), S(Y,X)")
+        assert shard_root(query) == "X"
+
+
+@requires_numpy
+class TestDelegation:
+    def test_rootless_query_delegates_to_array(self):
+        query = parse_query("Q() :- R(X), S(Y)")
+        monoid = CountingSemiring()
+        annotated = KDatabase(query, monoid)
+        rng = random.Random(31)
+        for relation in annotated.relations():
+            for _ in range(8):
+                relation.set((rng.randrange(0, 4),), rng.randrange(1, 4))
+        expected = _array_result(query, annotated)
+        reset_sharded_stats()
+        actual = _sharded_result(query, annotated, 2)
+        assert actual == expected
+        assert sharded_stats()["delegated_root"] == 1
+
+    def test_small_inputs_delegate_below_threshold(self):
+        monoid = CountingSemiring()
+        rng = random.Random(37)
+        annotated = _random_annotated(star_query(2), monoid, lambda r: 1, rng)
+        expected = _array_result(star_query(2), annotated)
+        plan = compile_plan(star_query(2))
+        reset_sharded_stats()
+        with shard_config(shards=2, threshold=10**9):
+            actual = execute_plan(
+                plan, annotated, kernel_mode="sharded"
+            ).result
+        assert actual == expected
+        assert sharded_stats()["delegated_threshold"] == 1
+        assert sharded_stats()["shards_run"] == 0
+
+
+# ----------------------------------------------------------------------
+# The shared worker-count validator (--workers / --shard-workers)
+# ----------------------------------------------------------------------
+class TestValidateWorkerCount:
+    def test_accepts_the_valid_range(self):
+        for value in (1, 4, MAX_WORKER_COUNT):
+            assert validate_worker_count(value) == value
+
+    @pytest.mark.parametrize(
+        "value", [0, -1, MAX_WORKER_COUNT + 1, True, False, "4", 2.5, None]
+    )
+    def test_rejects_everything_else(self, value):
+        with pytest.raises(ReproError, match="worker count"):
+            validate_worker_count(value)
+
+    def test_message_names_the_surface(self):
+        with pytest.raises(ReproError, match="shard worker count"):
+            validate_worker_count(0, what="shard worker")
+
+    def test_scheduler_and_serve_share_the_helper(self):
+        from repro.serve.admission import (
+            validate_worker_count as admission_validate,
+        )
+        from repro.serve.scheduler import (
+            validate_worker_count as scheduler_validate,
+        )
+
+        assert admission_validate is validate_worker_count
+        assert scheduler_validate is validate_worker_count
+
+    def test_scheduler_rejects_bad_shard_workers(self):
+        from repro.serve.scheduler import Scheduler
+
+        with pytest.raises(ReproError, match="worker count"):
+            Scheduler(workers=0)
+
+
+class TestShardConfig:
+    def test_overrides_are_scoped(self):
+        before = shard_workers()
+        with shard_config(workers=3, shards=5, threshold=7):
+            assert shard_workers() == 3
+            stats = sharded_stats()
+            assert stats["workers"] == 3
+            assert stats["threshold"] == 7
+        assert shard_workers() == before
+
+    def test_rejects_invalid_workers(self):
+        with pytest.raises(ReproError, match="worker count"):
+            with shard_config(workers=0):
+                pass
+
+
+# ----------------------------------------------------------------------
+# Engine-level integration: kernel_mode="sharded" end to end
+# ----------------------------------------------------------------------
+@requires_numpy
+class TestEngineSharded:
+    def test_session_pqe_matches_array_engine(self):
+        from repro.engine import Engine
+        from repro.workloads.generators import random_probabilistic_database
+
+        query = star_query(2)
+        database = random_probabilistic_database(
+            query, facts_per_relation=60, domain_size=12, seed=41
+        )
+        with shard_config(shards=3, threshold=0):
+            sharded_answer = (
+                Engine(kernel_mode="sharded")
+                .open(query, probabilistic=database)
+                .pqe()
+            )
+        array_answer = (
+            Engine(kernel_mode="array")
+            .open(query, probabilistic=database)
+            .pqe()
+        )
+        assert _results_agree(sharded_answer, array_answer, False)
+
+    def test_engine_accepts_the_mode(self):
+        from repro.engine import Engine
+
+        assert Engine(kernel_mode="sharded").kernel_mode == "sharded"
