@@ -430,6 +430,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "sweeps",
             "swept_requests",
             "sweep_failures",
+            "fused_batches",
+            "fused_queries",
             "rejected",
             "shed",
             "rate_limited",

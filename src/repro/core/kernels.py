@@ -385,6 +385,17 @@ class ArrayKernel(Generic[K]):
     #: :class:`~repro.db.annotated.PackedColumnarKRelation` views.
     packed_rows = False
 
+    #: Whether the shared-scan fuser may stack several queries' annotation
+    #: columns into one 2-D array driven by this kernel's ufuncs
+    #: (:mod:`repro.core.fused`).  True for the flat scalar kernels: their
+    #: ``fold_groups``/``mul_arrays``/``zero_mask`` are plain axis-0
+    #: ufunc.reduceat / elementwise operations, which numpy applies
+    #: column-independently to 2-D inputs with bit-identical per-column
+    #: results.  Kernels whose annotations are already multi-axis rows
+    #: (:class:`VectorArrayKernel`) override this to False — stacking would
+    #: collide with the packed axes — and fall back to serial execution.
+    stackable = True
+
     def where_rows(self, found, matched):
         """*matched* with rows where ``~found`` replaced by ``monoid.zero``.
 
@@ -447,6 +458,7 @@ class VectorArrayKernel(ArrayKernel[K]):
     """
 
     packed_rows = True
+    stackable = False
 
     def zero_row(self, width):
         """``monoid.zero`` packed as a single row of *width* slots."""

@@ -421,14 +421,27 @@ class ColumnarKRelation(Generic[K]):
     run their grouping, alignment and arithmetic entirely inside numpy.
     """
 
-    __slots__ = ("atom", "kernel", "columns", "annotations", "interner")
+    __slots__ = (
+        "atom", "kernel", "columns", "annotations", "interner", "_sort_cache"
+    )
 
-    def __init__(self, atom, kernel, columns, annotations, interner):
+    def __init__(
+        self, atom, kernel, columns, annotations, interner, sort_cache=None
+    ):
         self.atom = atom
         self.kernel = kernel
         self.columns = columns
         self.annotations = annotations
         self.interner = interner
+        # Lexsort memo for Rule 1 over *this* view's key columns, keyed by
+        # the kept-position tuple: ``keep → (order, group starts)``.  Only
+        # cached base-relation views carry a dict (set by the database-level
+        # builders); single-use intermediates keep ``None`` and sort
+        # directly.  Stacked fused views share their base view's dict, so
+        # the sort is computed once per relation version across serial *and*
+        # fused executions.  Entries depend only on the (immutable) key
+        # columns, so concurrent readers may at worst duplicate a sort.
+        self._sort_cache = sort_cache
 
     @classmethod
     def from_relation(
@@ -448,7 +461,9 @@ class ColumnarKRelation(Generic[K]):
             for position in range(relation.atom.arity)
         )
         packed = kernel.to_array(list(annotations.values()))
-        return cls(relation.atom, kernel, columns, packed, interner)
+        return cls(
+            relation.atom, kernel, columns, packed, interner, sort_cache={}
+        )
 
     def __len__(self) -> int:
         return int(self.annotations.shape[0])
@@ -518,15 +533,23 @@ class ColumnarKRelation(Generic[K]):
             return type(self)(
                 target, kernel, (), folded[keep_mask], self.interner
             )
-        order = np.lexsort(columns[::-1])
-        sorted_columns = tuple(column[order] for column in columns)
-        boundary = np.zeros(n, dtype=bool)
-        boundary[0] = True
-        for column in sorted_columns:
-            boundary[1:] |= column[1:] != column[:-1]
-        starts = np.flatnonzero(boundary)
+        cache = self._sort_cache
+        cached = None if cache is None else cache.get(keep)
+        if cached is None:
+            order = np.lexsort(columns[::-1])
+            sorted_columns = tuple(column[order] for column in columns)
+            boundary = np.zeros(n, dtype=bool)
+            boundary[0] = True
+            for column in sorted_columns:
+                boundary[1:] |= column[1:] != column[:-1]
+            starts = np.flatnonzero(boundary)
+            if cache is not None:
+                cache[keep] = (order, starts)
+        else:
+            order, starts = cached
         folded = kernel.fold_groups(self.annotations[order], starts)
-        out_columns = tuple(column[starts] for column in sorted_columns)
+        group_rows = order[starts]
+        out_columns = tuple(column[group_rows] for column in columns)
         folded, out_columns = _drop_zeros(kernel, folded, out_columns)
         return type(self)(
             target, kernel, out_columns, folded, self.interner
@@ -1100,7 +1123,8 @@ class KDatabase(Generic[K]):
                 self.decline_columnar(kernel)
                 return
             view = columnar_relation_class(kernel)(
-                relation.atom, kernel, columns, packed, self._interner
+                relation.atom, kernel, columns, packed, self._interner,
+                sort_cache={},
             )
             self._columnar[name] = (relation._version, view)
 

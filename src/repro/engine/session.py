@@ -73,8 +73,9 @@ from repro.core.grouped import (
     compile_grouped_plan,
     execute_grouped_plan,
 )
+from repro.core.fused import FusedTask, execute_fused
 from repro.core.incremental import IncrementalEvaluator
-from repro.core.plan import plan_cache_info
+from repro.core.plan import binding_occurrences, plan_cache_info
 from repro.db.annotated import KDatabase, KRelation
 from repro.db.database import Database
 from repro.db.fact import Fact
@@ -97,9 +98,13 @@ RequestHandler = Callable[..., object]
 #: :func:`register_request_family`.
 REQUEST_FAMILIES: dict[str, RequestHandler] = {
     "run": lambda session: session.run(),
-    "pqe": lambda session, exact=False: session.pqe(exact=exact),
+    "pqe": (
+        lambda session, exact=False, binding=None:
+        session.pqe(exact=exact, binding=binding)
+    ),
     "expected_count": (
-        lambda session, exact=False: session.expected_count(exact=exact)
+        lambda session, exact=False, binding=None:
+        session.expected_count(exact=exact, binding=binding)
     ),
     "sat_vector": lambda session: session.sat_vector(),
     "sat_counts": lambda session: session.sat_counts(),
@@ -133,10 +138,32 @@ _RAW_STATE = object()
 #: spelling a default explicitly (``pqe(exact=False)``) must coalesce and
 #: memo-hit with the bare spelling (``pqe()``).
 _PARAM_DEFAULTS: dict[str, dict[str, object]] = {
-    "pqe": {"exact": False},
-    "expected_count": {"exact": False},
+    "pqe": {"exact": False, "binding": None},
+    "expected_count": {"exact": False, "binding": None},
     "bagset_profile": {"vector_length": None},
 }
+
+#: Families whose handlers accept a parameter ``binding`` — the constant
+#: lifting of :class:`repro.core.plan.ParameterizedPlan`, and the unit the
+#: shared-scan fuser (:mod:`repro.core.fused`) batches on.
+_BINDING_FAMILIES = ("pqe", "expected_count")
+
+
+def canonical_binding(binding) -> tuple | None:
+    """Normalize a parameter binding to sorted ``(variable, value)`` pairs.
+
+    Accepts a mapping, an iterable of pairs, or ``None``; an empty binding
+    canonicalizes to ``None`` (an unbound request).  The result is hashable,
+    so it survives into memo keys and :class:`repro.serve.request.Request`
+    signatures unchanged.
+    """
+    if binding is None:
+        return None
+    items = binding.items() if hasattr(binding, "items") else binding
+    normalized = tuple(
+        sorted((str(variable), value) for variable, value in items)
+    )
+    return normalized or None
 
 
 def canonical_params(family: str, params: dict) -> dict:
@@ -145,7 +172,11 @@ def canonical_params(family: str, params: dict) -> dict:
     Used by :meth:`EngineSession.request` and
     :class:`repro.serve.request.Request` so the memo and the scheduler's
     single-flight coalescing key on request *semantics*, not spelling.
+    Bindings are normalized first (see :func:`canonical_binding`) so every
+    spelling of one parameter sweep point coalesces.
     """
+    if family in _BINDING_FAMILIES and "binding" in params:
+        params = {**params, "binding": canonical_binding(params["binding"])}
     defaults = _PARAM_DEFAULTS.get(family)
     if not defaults:
         return params
@@ -320,6 +351,8 @@ class EngineSession:
             "annotation_builds": 0,
             "memo_hits": 0,
             "memo_misses": 0,
+            "fused_batches": 0,
+            "fused_queries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -499,13 +532,29 @@ class EngineSession:
                 f"{sorted(REQUEST_FAMILIES)}"
             )
         params = canonical_params(family, params)
+        hit, value = self._memo_probe(family, params)
+        if hit:
+            return value
+        with self._lock:
+            before = self._request_fingerprint(family, params)
+        value = handler(self, **params)
+        self._memo_store(family, params, before, value)
+        return value
+
+    def _memo_probe(self, family: str, params: dict) -> tuple[bool, object]:
+        """``(hit?, value)`` for one canonicalized request signature.
+
+        The lookup half of :meth:`request`, shared with
+        :meth:`evaluate_many`: probes the memo (evicting stale entries),
+        then the family's derived sweep, and counts the hit or miss.
+        """
         key = (family, tuple(sorted(params.items())))
         with self._lock:
             entry = self._results.get(key)
             if entry is not None:
                 if entry[0] == self._request_fingerprint(family, params):
                     self._counters["memo_hits"] += 1
-                    return entry[1]
+                    return True, entry[1]
                 del self._results[key]  # stale: underlying versions moved
             derived = _DERIVED_FROM.get(family)
             if derived is not None:
@@ -520,23 +569,106 @@ class EngineSession:
                         self._results[key] = (
                             self._request_fingerprint(family, params), value
                         )
-                        return value
+                        return True, value
             self._counters["memo_misses"] += 1
-            before = self._request_fingerprint(family, params)
-        value = handler(self, **params)
+            return False, None
+
+    def _memo_store(
+        self, family: str, params: dict, before: tuple, value
+    ) -> None:
+        """Memoize *value* unless dependent state moved during execution.
+
+        Store only when the dependent state did not move underneath the
+        execution: a ``None`` component may become a fingerprint (the
+        handler built that state itself), but a changed fingerprint means
+        a concurrent mutation — memoizing then would pin a possibly-stale
+        value under the new fingerprint.
+        """
+        key = (family, tuple(sorted(params.items())))
         with self._lock:
             after = self._request_fingerprint(family, params)
-            # Store only when the dependent state did not move underneath
-            # the execution: a ``None`` component may become a fingerprint
-            # (the handler built that state itself), but a changed
-            # fingerprint means a concurrent mutation — memoizing then
-            # would pin a possibly-stale value under the new fingerprint.
             if len(before) == len(after) and all(
                 old is None or old == new
                 for old, new in zip(before, after)
             ):
                 self._results[key] = (after, value)
-        return value
+
+    def _normalize_request(self, request) -> tuple[str, dict]:
+        """``(family, canonical params)`` of one :meth:`evaluate_many` item."""
+        if isinstance(request, tuple) and len(request) == 2:
+            family, params = request
+            params = dict(params or {})
+        else:
+            family = getattr(request, "family", None)
+            kwargs = getattr(request, "kwargs", None)
+            if family is None or kwargs is None:
+                raise ReproError(
+                    f"cannot interpret {request!r} as a request: expected a "
+                    "(family, params) pair or an object with family/kwargs "
+                    "attributes"
+                )
+            params = dict(kwargs)
+        if family not in REQUEST_FAMILIES:
+            raise ReproError(
+                f"unknown request family {family!r}; known families: "
+                f"{sorted(REQUEST_FAMILIES)}"
+            )
+        return family, canonical_params(family, params)
+
+    def evaluate_many(self, requests, *, use_memo: bool = True) -> list:
+        """Answer a batch of requests, fusing compatible ones per scan.
+
+        *requests* holds ``(family, params)`` pairs and/or request-like
+        objects with ``family``/``kwargs`` attributes
+        (:class:`repro.serve.request.Request`); results align positionally
+        with the input.  Binding-carrying ``pqe``/``expected_count``
+        requests that miss the memo are grouped by
+        :func:`repro.core.fused.execute_fused` — same annotated database,
+        same plan scan signature — and answered in one stacked columnar
+        pass, counted by the ``fused_batches``/``fused_queries`` stats;
+        every other request takes the standard :meth:`request` path.
+        Either way the answers are bit-identical to a sequential loop
+        (bound serial requests *are* width-1 fused runs).
+        """
+        normalized = [
+            self._normalize_request(request) for request in requests
+        ]
+        results: list = [None] * len(normalized)
+        tasks: list[FusedTask] = []
+        pending: list[tuple[int, tuple | None]] = []
+        for index, (family, params) in enumerate(normalized):
+            if not (family in _BINDING_FAMILIES and params.get("binding")):
+                results[index] = (
+                    self.request(family, **params)
+                    if use_memo
+                    else REQUEST_FAMILIES[family](self, **params)
+                )
+                continue
+            before = None
+            if use_memo:
+                hit, value = self._memo_probe(family, params)
+                if hit:
+                    results[index] = value
+                    continue
+                with self._lock:
+                    before = self._request_fingerprint(family, params)
+            annotated = self._probability_annotated(
+                family, bool(params.get("exact", False))
+            )
+            tasks.append(self._bound_task(annotated, params["binding"]))
+            pending.append((index, before))
+        if tasks:
+            report = execute_fused(tasks, kernel_mode=self.kernel_mode)
+            with self._lock:
+                self._counters["evaluations"] += len(tasks)
+                self._counters["fused_batches"] += report.fused_batches
+                self._counters["fused_queries"] += report.fused_queries
+            for (index, before), value in zip(pending, report.results):
+                results[index] = value
+                if use_memo and before is not None:
+                    family, params = normalized[index]
+                    self._memo_store(family, params, before, value)
+        return results
 
     def invalidate(self, family: str | None = None) -> None:
         """Drop memoized request results (all, or one family's).
@@ -604,37 +736,100 @@ class EngineSession:
                 self._sources[exact] = source
             return source
 
-    def pqe(self, exact: bool = False):
-        """Marginal probability of the query (Theorem 5.8)."""
+    def _probability_annotated(self, family: str, exact: bool) -> KDatabase:
+        """The cached ψ-annotated database behind ``pqe``/``expected_count``."""
         source = self._probability_source(exact)
+        monoid_family = "probability" if family == "pqe" else "expectation"
         monoid = self._monoid_for(
-            ("probability", exact), "probability", exact=exact
+            (monoid_family, exact), monoid_family, exact=exact
         )
-        annotated = self._annotated_for(
-            ("pqe", exact),
+        return self._annotated_for(
+            (family, exact),
             lambda: self._annotate(
                 monoid,
                 source.facts(),
                 lambda fact: monoid.validate(source.probability(fact)),
             ),
         )
-        return self._run(annotated)
 
-    def expected_count(self, exact: bool = False):
-        """``E[Q(D)]`` over the real semiring (linearity of expectation)."""
-        source = self._probability_source(exact)
-        semiring = self._monoid_for(
-            ("expectation", exact), "expectation", exact=exact
+    def pqe(self, exact: bool = False, binding=None):
+        """Marginal probability of the query (Theorem 5.8).
+
+        With *binding* — ``(variable, value)`` pairs or a mapping — the
+        answer is for the lifted query ``Q(c)``: the database restricted to
+        the binding's section ``σ_{X=c}`` at every occurrence of each bound
+        variable (see :class:`repro.core.plan.ParameterizedPlan`).  Bound
+        requests execute as width-1 shared-scan runs over the *same*
+        annotated database, so batching them through
+        :meth:`evaluate_many` is bit-identical, just faster.
+        """
+        annotated = self._probability_annotated("pqe", exact)
+        binding = canonical_binding(binding)
+        if binding is None:
+            return self._run(annotated)
+        return self._run_bound(annotated, binding)
+
+    def expected_count(self, exact: bool = False, binding=None):
+        """``E[Q(D)]`` over the real semiring (linearity of expectation).
+
+        *binding* restricts to the section ``σ_{X=c}`` exactly as in
+        :meth:`pqe`.
+        """
+        annotated = self._probability_annotated("expected_count", exact)
+        binding = canonical_binding(binding)
+        if binding is None:
+            return self._run(annotated)
+        return self._run_bound(annotated, binding)
+
+    def _masked_database(self, annotated: KDatabase, binding) -> KDatabase:
+        """A throwaway copy of *annotated* restricted to a binding's section.
+
+        The serial fallback of constant lifting when the columnar tier is
+        unavailable: keeps exactly the support tuples matching the binding,
+        with their annotations, preserving insertion order.  Deliberately
+        not cached on the session — distinct bindings are unbounded; the
+        result memo caches the *answers* instead.
+        """
+        values = dict(binding)
+        occurrences = binding_occurrences(self.query, tuple(values))
+        masked = KDatabase(self.query, annotated.monoid)
+        for relation in annotated.relations():
+            positions = occurrences.get(relation.atom.relation, ())
+            keys: list = []
+            annotations: list = []
+            for key, annotation in relation._annotations.items():
+                if all(key[pos] == values[var] for pos, var in positions):
+                    keys.append(key)
+                    annotations.append(annotation)
+            masked.relation(relation.atom.relation).bulk_load(
+                keys, annotations
+            )
+        return masked
+
+    def _bound_task(
+        self, annotated: KDatabase, binding
+    ) -> FusedTask:
+        """One shared-scan task answering this query under *binding*."""
+        plan = compile_for_database(self.query, annotated, self.engine.policy)
+        return FusedTask(
+            plan=plan,
+            annotated=annotated,
+            binding=binding,
+            fallback=lambda: execute_plan(
+                plan,
+                self._masked_database(annotated, binding),
+                kernel_mode=self.kernel_mode,
+            ).result,
         )
-        annotated = self._annotated_for(
-            ("expected_count", exact),
-            lambda: self._annotate(
-                semiring,
-                source.facts(),
-                lambda fact: semiring.validate(source.probability(fact)),
-            ),
-        )
-        return self._run(annotated)
+
+    def _run_bound(self, annotated: KDatabase, binding):
+        """Serve one bound request: a width-1 fused run (or its fallback)."""
+        with self._lock:
+            self._counters["evaluations"] += 1
+        task = self._bound_task(annotated, binding)
+        return execute_fused(
+            [task], kernel_mode=self.kernel_mode
+        ).results[0]
 
     # ------------------------------------------------------------------
     # Shapley / Banzhaf (exogenous/endogenous splits)
@@ -915,6 +1110,8 @@ class EngineSession:
             info: dict = {
                 "evaluations": self._counters["evaluations"],
                 "annotation_builds": self._counters["annotation_builds"],
+                "fused_batches": self._counters["fused_batches"],
+                "fused_queries": self._counters["fused_queries"],
                 "annotated_databases": len(annotated_databases),
                 # Columnar (array-tier) views cached across this session's
                 # requests, summed over the session's annotated databases.

@@ -102,6 +102,45 @@ def request_from_dict(payload: dict) -> Request:
     ).validate()
 
 
+def requests_from_dict(payload: dict) -> list[Request]:
+    """Decode one stream entry, expanding a ``bindings`` parameter sweep.
+
+    A ``bindings`` key — a list of binding objects, each a variable→value
+    mapping or a list of ``[variable, value]`` pairs — expands the entry
+    into one request per binding, all sharing the entry's other
+    parameters.  This is the JSON spelling of a shared-scan sweep: the
+    expanded requests carry identical signatures up to their ``binding``,
+    so the scheduler claims them into one fused batch
+    (:mod:`repro.core.fused`).
+
+    >>> [str(r) for r in requests_from_dict(
+    ...     {"family": "pqe", "bindings": [{"X": 1}, {"X": 2}]}
+    ... )]
+    ["pqe(binding=(('X', 1),))", "pqe(binding=(('X', 2),))"]
+    """
+    if not isinstance(payload, dict) or "family" not in payload:
+        raise SchemaError(f"request entry needs a 'family' key: {payload!r}")
+    if "bindings" not in payload:
+        return [request_from_dict(payload)]
+    bindings = payload["bindings"]
+    if not isinstance(bindings, list) or not bindings:
+        raise SchemaError(
+            f"'bindings' must be a non-empty list of binding objects, got "
+            f"{bindings!r}"
+        )
+    if "binding" in payload:
+        raise SchemaError(
+            "a request entry takes 'binding' or 'bindings', not both"
+        )
+    template = {
+        name: value for name, value in payload.items() if name != "bindings"
+    }
+    return [
+        request_from_dict({**template, "binding": binding})
+        for binding in bindings
+    ]
+
+
 def load_request_stream(path: str | Path) -> tuple[BCQ, dict, list[Request]]:
     """Parse a stream document into ``(query, data sources, requests)``.
 
@@ -129,4 +168,8 @@ def load_request_stream(path: str | Path) -> tuple[BCQ, dict, list[Request]]:
     entries = payload.get("requests", [])
     if not isinstance(entries, list):
         raise SchemaError("'requests' must be a list of request entries")
-    return query, data, [request_from_dict(entry) for entry in entries]
+    return query, data, [
+        request
+        for entry in entries
+        for request in requests_from_dict(entry)
+    ]

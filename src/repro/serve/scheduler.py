@@ -79,6 +79,18 @@ _SWEEPS = {
     "banzhaf_value": "banzhaf_values",
 }
 
+#: Families whose binding-carrying requests batch into one shared columnar
+#: scan (:meth:`EngineSession.evaluate_many` → :mod:`repro.core.fused`).
+_FUSED_FAMILIES = ("pqe", "expected_count")
+
+
+def _fusable(request: Request) -> bool:
+    """Whether *request* can join a shared-scan fused batch."""
+    return (
+        request.family in _FUSED_FAMILIES
+        and "binding" in request.kwargs
+    )
+
 _SHUTDOWN = object()
 
 
@@ -173,6 +185,9 @@ class Scheduler:
         self._sweeps = 0
         self._swept_requests = 0
         self._sweep_failures = 0
+        self._fused_batches = 0
+        self._fused_queries = 0
+        self._fused_failures = 0
         self._timeouts = 0
         self._retries = 0
         self._worker_deaths = 0
@@ -345,13 +360,17 @@ class Scheduler:
                 and self._claim_one_locked(key, flight, now, to_resolve)
             ):
                 batch.append((key, flight))
-                if flight.request.family in _SWEEPS:
+                if flight.request.family in _SWEEPS or _fusable(
+                    flight.request
+                ):
+                    lead_fusable = _fusable(flight.request)
                     for other_key, other in list(self._pending.items()):
                         if (
                             other is not flight
                             and not other.claimed
                             and other.session is flight.session
                             and other.request.family == flight.request.family
+                            and (not lead_fusable or _fusable(other.request))
                             and self._claim_one_locked(
                                 other_key, other, now, to_resolve
                             )
@@ -426,6 +445,27 @@ class Scheduler:
                 # retries transient failures per flight).
                 with self._lock:
                     self._sweep_failures += 1
+        elif _fusable(first.request) and len(batch) >= 2:
+            # Shared-scan fusion: answer the whole claimed batch in one
+            # stacked columnar pass (bit-identical to per-flight serial by
+            # construction — see repro.core.fused).  Like the sweep branch
+            # this only *warms the session memo*; the per-flight loop below
+            # then serves each request from it through the normal breaker,
+            # retry and resolution bookkeeping.  On any failure the batch
+            # falls through to per-flight execution, which re-raises the
+            # error on the request(s) it belongs to.
+            try:
+                if self._faults is not None:
+                    self._faults.before_attempt()
+                session.evaluate_many(
+                    [flight.request for _key, flight in batch]
+                )
+                with self._lock:
+                    self._fused_batches += 1
+                    self._fused_queries += len(batch)
+            except Exception:
+                with self._lock:
+                    self._fused_failures += 1
         outcomes = []
         for _key, flight in batch:
             outcomes.append(self._execute_flight(session, family, flight))
@@ -571,19 +611,33 @@ class Scheduler:
         Flat keys cover the headline counters the CLI prints; the nested
         ``admission``/``breaker``/``faults`` entries carry each policy
         object's full view (``breaker``/``faults`` are ``None`` when not
-        installed).
+        installed).  Batching effectiveness lives in the ``"batching"``
+        sub-dict — Shapley/Banzhaf sweep counters next to shared-scan
+        fusion counters — with the historical flat ``sweeps``/
+        ``swept_requests``/``sweep_failures`` keys kept as aliases.
         """
         admission = self._admission.stats()
         breaker = self._breaker.stats() if self._breaker is not None else None
         with self._lock:
+            batching = {
+                "sweeps": self._sweeps,
+                "swept_requests": self._swept_requests,
+                "sweep_failures": self._sweep_failures,
+                "fused_batches": self._fused_batches,
+                "fused_queries": self._fused_queries,
+                "fused_failures": self._fused_failures,
+            }
             return {
                 "workers": self.workers,
                 "submitted": self._submitted,
                 "coalesced": self._coalesced,
                 "executed": self._executed,
+                "batching": batching,
                 "sweeps": self._sweeps,
                 "swept_requests": self._swept_requests,
                 "sweep_failures": self._sweep_failures,
+                "fused_batches": self._fused_batches,
+                "fused_queries": self._fused_queries,
                 "pending": len(self._pending),
                 "queued": self._queued,
                 "rejected": admission["rejected"],

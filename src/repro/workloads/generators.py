@@ -7,7 +7,9 @@ benchmark workloads and property-test instances are reproducible.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from fractions import Fraction
+from itertools import accumulate
 from typing import Iterable
 
 from repro.db.database import Database
@@ -24,25 +26,52 @@ def _as_rng(seed_or_rng: int | random.Random) -> random.Random:
     return random.Random(seed_or_rng)
 
 
+def _value_sampler(rng: random.Random, domain_size: int, skew: float):
+    """A ``() → value`` draw over ``range(domain_size)``, optionally skewed.
+
+    ``skew == 0`` is the uniform ``rng.randrange`` draw (bit-compatible
+    with the historical generators, so existing seeds reproduce their
+    databases unchanged).  ``skew > 0`` draws from a Zipf/power law —
+    value ``k`` with weight ``1/(k+1)**skew`` — via one cumulative table
+    and a binary search per draw, still fully determined by *rng*.  Skewed
+    draws contend on the low values: the regime where shared-scan fusion
+    and sweep batching meet hot keys.
+    """
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew!r}")
+    if skew == 0:
+        return lambda: rng.randrange(domain_size)
+    cumulative = list(
+        accumulate(1.0 / (k + 1) ** skew for k in range(domain_size))
+    )
+    total = cumulative[-1]
+    return lambda: bisect_right(cumulative, rng.random() * total)
+
+
 def random_database(
     query: BCQ,
     facts_per_relation: int,
     domain_size: int,
     seed: int | random.Random = 0,
+    skew: float = 0.0,
 ) -> Database:
     """Sample ≈ *facts_per_relation* distinct facts per atom of *query*.
 
     Values are integers in ``range(domain_size)``; duplicate samples collapse
-    (databases are sets), so small domains may yield fewer facts.
+    (databases are sets), so small domains may yield fewer facts.  A
+    positive *skew* draws values from a seeded Zipf distribution instead of
+    uniformly (see :func:`_value_sampler`) — heavier collapse on the hot
+    low values, contended join keys.
     """
     rng = _as_rng(seed)
+    draw = _value_sampler(rng, domain_size, skew)
     facts: list[Fact] = []
     for atom in query.atoms:
         seen: set[tuple[int, ...]] = set()
         attempts = 0
         while len(seen) < facts_per_relation and attempts < 20 * facts_per_relation:
             attempts += 1
-            values = tuple(rng.randrange(domain_size) for _ in range(atom.arity))
+            values = tuple(draw() for _ in range(atom.arity))
             seen.add(values)
         facts.extend(Fact(atom.relation, values) for values in seen)
     return Database(facts)
@@ -85,10 +114,14 @@ def random_probabilistic_database(
     domain_size: int,
     seed: int | random.Random = 0,
     exact: bool = False,
+    skew: float = 0.0,
 ) -> ProbabilisticDatabase:
-    """A TID over a random database, probabilities uniform in (0, 1)."""
+    """A TID over a random database, probabilities uniform in (0, 1).
+
+    *skew* shapes the fact values exactly as in :func:`random_database`.
+    """
     rng = _as_rng(seed)
-    base = random_database(query, facts_per_relation, domain_size, rng)
+    base = random_database(query, facts_per_relation, domain_size, rng, skew)
     probabilities = {}
     for fact in base.facts():
         if exact:

@@ -70,7 +70,7 @@ class TestPerfSuiteDocument:
         assert set(document["experiments"]) == {"E4"}
         assert set(document["summary"]) == {"E4"}
 
-    def test_schema_v6_fields(self):
+    def test_schema_v7_fields(self):
         from repro.bench.perf import (
             SCHEMA_VERSION,
             available_tiers,
@@ -78,7 +78,7 @@ class TestPerfSuiteDocument:
         )
 
         document = run_perf_suite(["res"], quick=True, repeats=1)
-        assert document["schema_version"] == SCHEMA_VERSION == 6
+        assert document["schema_version"] == SCHEMA_VERSION == 7
         assert document["tiers"] == available_tiers()
         environment = document["environment"]
         assert environment["python"] and environment["platform"]

@@ -384,7 +384,7 @@ class TestEndToEndSmoke:
 
         document = run_perf_suite(quick=True, repeats=1)
         assert set(document["experiments"]) == {
-            "E2", "E4", "E6", "res", "engine", "serve",
+            "E2", "E4", "E6", "res", "engine", "serve", "multiquery",
         }
         for name, experiment in document["experiments"].items():
             assert experiment["agree"], f"{name} kernel/scalar disagreement"

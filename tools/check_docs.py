@@ -31,8 +31,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: Packages whose public callables must all be documented.
-DOCUMENTED_PACKAGES = ("repro.engine", "repro.serve")
+#: Packages (or single modules) whose public callables must all be
+#: documented.  ``repro.core.fused`` rides along with the serving layers:
+#: the scheduler's batching contract is defined by its docstrings.
+DOCUMENTED_PACKAGES = ("repro.engine", "repro.serve", "repro.core.fused")
 
 #: Markdown documents whose relative links must resolve.
 LINKED_DOCUMENTS = ("ARCHITECTURE.md", "README.md")
@@ -44,7 +46,7 @@ def _iter_modules(package_name: str):
     package = importlib.import_module(package_name)
     yield package
     for info in pkgutil.iter_modules(
-        package.__path__, prefix=package_name + "."
+        getattr(package, "__path__", ()), prefix=package_name + "."
     ):
         yield importlib.import_module(info.name)
 
