@@ -53,6 +53,7 @@ from repro.core.kernels import array_kernel_for, numpy_or_none
 from repro.core.plan import compile_plan
 from repro.db.annotated import KDatabase
 from repro.db.database import Database
+from repro.obs import quantile
 from repro.problems.bagset_max import annotation_psi as bagset_psi
 from repro.problems.resilience import ResilienceInstance
 from repro.problems.resilience import annotation_psi as resilience_psi
@@ -585,13 +586,8 @@ def _time_serve_stream(query, data, requests, engine_factory, workers):
     return elapsed, answers, latencies, scheduler
 
 
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))
-    )
-    return sorted_values[index]
+# Percentiles are repro.obs.quantile — one definition shared with the
+# runtime metrics layer, so bench p50/p95 and /metrics histograms agree.
 
 
 def perf_serve(
@@ -677,8 +673,8 @@ def perf_serve(
             record["workers"][str(workers)] = {
                 "serve_s": elapsed,
                 "throughput_rps": len(requests) / max(elapsed, 1e-12),
-                "p50_ms": _percentile(ordered, 0.50) * 1e3,
-                "p95_ms": _percentile(ordered, 0.95) * 1e3,
+                "p50_ms": quantile(ordered, 0.50) * 1e3,
+                "p95_ms": quantile(ordered, 0.95) * 1e3,
                 "speedup": oneshot_time / max(elapsed, 1e-12),
                 "coalesced": scheduler["coalesced"],
                 "executed": scheduler["executed"],

@@ -187,6 +187,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--memo-limit", type=int, default=None, dest="memo_limit",
         help="LRU cap on the session result memo (default: unbounded)",
     )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT", dest="http_port",
+        help=(
+            "after serving the stream, keep an HTTP front-end listening on "
+            "PORT (0 = ephemeral): POST /v1/query, POST /v1/stream, "
+            "GET /metrics (Prometheus), GET /healthz"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for --http (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--trace-log", default=None, dest="trace_log", metavar="PATH",
+        help="append one JSON span record per resolved request to PATH",
+    )
     _add_policy_option(serve)
     _add_kernel_mode_option(serve)
 
@@ -386,6 +402,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     retry = RetryPolicy(max_retries=args.max_retries)
+    event_log = None
+    if args.trace_log is not None:
+        from repro.obs import EventLog
+
+        event_log = EventLog(args.trace_log)
     started = time.perf_counter()
     with Server(
         query,
@@ -394,6 +415,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_workers=args.shard_workers,
         admission=admission,
         retry=retry,
+        event_log=event_log,
         **data,
     ) as server:
         # Admission may reject a submission outright (full queue, rate
@@ -418,32 +440,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stats = server.stats()
         scheduler_stats = stats["scheduler"]
         memo = stats["session"]["memo"]
-    print(
-        f"served {len(requests)} requests in {elapsed:.3f}s "
-        f"({len(requests) / max(elapsed, 1e-9):.1f} req/s, "
-        f"{args.workers} workers)"
-    )
-    if args.stats:
-        for key in (
-            "coalesced",
-            "executed",
-            "sweeps",
-            "swept_requests",
-            "sweep_failures",
-            "fused_batches",
-            "fused_queries",
-            "rejected",
-            "shed",
-            "rate_limited",
-            "timeouts",
-            "retries",
-            "worker_respawns",
-            "breaker_trips",
-        ):
-            print(f"{key}: {scheduler_stats[key]}")
-        print(f"memo_hits: {memo['hits']}")
-        print(f"memo_misses: {memo['misses']}")
-        print(f"memo_evictions: {memo['evictions']}")
+        print(
+            f"served {len(requests)} requests in {elapsed:.3f}s "
+            f"({len(requests) / max(elapsed, 1e-9):.1f} req/s, "
+            f"{args.workers} workers)"
+        )
+        if args.stats:
+            # One registry snapshot drives both stats() and this printer,
+            # so the flat aliases can never drift from the nested view.
+            from repro.serve.scheduler import HEADLINE_COUNTERS
+
+            for key in HEADLINE_COUNTERS:
+                print(f"{key}: {scheduler_stats[key]}")
+            print(f"memo_hits: {memo['hits']}")
+            print(f"memo_misses: {memo['misses']}")
+            print(f"memo_evictions: {memo['evictions']}")
+        if args.http_port is not None:
+            from repro.serve.http import HttpFrontend
+
+            with HttpFrontend(
+                server, host=args.host, port=args.http_port
+            ).start() as frontend:
+                print(f"listening on {frontend.url}", flush=True)
+                try:
+                    import threading
+
+                    threading.Event().wait()
+                except KeyboardInterrupt:
+                    print("shutting down")
+    if event_log is not None:
+        event_log.close()
     return 1 if failures else 0
 
 

@@ -16,6 +16,7 @@ evaluation, bag-set maximization, Shapley value computation, and any other
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -26,9 +27,38 @@ from repro.core.kernels import array_kernel_for, scalar_kernels
 from repro.db.annotated import ColumnarKRelation, KDatabase, KRelation
 from repro.db.fact import Fact
 from repro.exceptions import ReproError
+from repro.obs import global_registry
 from repro.query.bcq import BCQ
 from repro.query.elimination import Policy
 from repro.core.plan import MergeStep, Plan, PlanStep, ProjectStep, compile_plan
+
+_TIER_EXECUTIONS = global_registry().counter(
+    "repro_tier_executions_total",
+    "Plan executions answered by each execution tier.",
+    labels=("tier",),
+)
+_TIER_FALLBACKS = global_registry().counter(
+    "repro_tier_fallbacks_total",
+    "Columnar-tier declines by reason (the run fell back to batched kernels).",
+    labels=("reason",),
+)
+_PLAN_SECONDS = global_registry().histogram(
+    "repro_plan_execution_seconds",
+    "Wall-clock seconds per plan execution, by answering tier.",
+    labels=("tier",),
+)
+# Per-step children resolved once: the hot loops pay two clock reads and
+# one striped-lock add per step, nothing else.
+_STEP_PROJECT = global_registry().histogram(
+    "repro_plan_step_seconds",
+    "Wall-clock seconds per executed plan step, by elimination rule.",
+    labels=("rule",),
+).labels(rule="project")
+_STEP_MERGE = global_registry().histogram(
+    "repro_plan_step_seconds",
+    "Wall-clock seconds per executed plan step, by elimination rule.",
+    labels=("rule",),
+).labels(rule="merge")
 
 StepHook = Callable[[PlanStep, KRelation], None]
 """Optional observer invoked after each executed step with its output relation."""
@@ -88,7 +118,12 @@ def _attempt_columnar(annotated: KDatabase, kernel_mode: str, executor):
     engines fall back identically, now and under any future change here.
     """
     array_kernel = _array_kernel_if_selected(kernel_mode, annotated.monoid)
-    if array_kernel is None or annotated.columnar_declined(array_kernel):
+    if array_kernel is None:
+        if kernel_mode in ("auto", "sharded", "array"):
+            _TIER_FALLBACKS.labels(reason="no_kernel").inc()
+        return None
+    if annotated.columnar_declined(array_kernel):
+        _TIER_FALLBACKS.labels(reason="declined").inc()
         return None
     try:
         return executor(array_kernel)
@@ -97,6 +132,7 @@ def _attempt_columnar(annotated: KDatabase, kernel_mode: str, executor):
         # Memoized (until a mutation) so repeated executions skip the
         # doomed encode attempt.
         annotated.decline_columnar(array_kernel)
+        _TIER_FALLBACKS.labels(reason="overflow").inc()
         return None
 
 
@@ -162,7 +198,14 @@ def execute_plan(
     monoid dispatch (the perf-suite baseline).  Step observers (*on_step*)
     receive dict-layout relations, so instrumented runs stay on the batched
     tier.
+
+    Every execution reports to the process-wide observability registry
+    (:func:`repro.obs.global_registry`): ``repro_tier_executions_total``
+    counts which tier answered, ``repro_plan_execution_seconds`` records
+    its wall clock, and ``repro_tier_fallbacks_total`` classifies columnar
+    declines.
     """
+    started = time.perf_counter()
     if on_step is None:
         if kernel_mode == "sharded":
             executor = lambda kernel: _execute_plan_sharded(  # noqa: E731
@@ -174,6 +217,11 @@ def execute_plan(
             )
         report = _attempt_columnar(annotated, kernel_mode, executor)
         if report is not None:
+            tier = "sharded" if kernel_mode == "sharded" else "array"
+            _TIER_EXECUTIONS.labels(tier=tier).inc()
+            _PLAN_SECONDS.labels(tier=tier).observe(
+                time.perf_counter() - started
+            )
             return report
     with _kernel_context(kernel_mode):
         live: dict[str, KRelation[K]] = {
@@ -183,15 +231,18 @@ def execute_plan(
         annihilates = annotated.monoid.annihilates
         max_live = sum(len(relation) for relation in live.values())
         for index, step in enumerate(plan.steps):
+            step_started = time.perf_counter()
             if isinstance(step, ProjectStep):
                 source = live.pop(step.source.relation)
                 produced = source.project_out(step.variable, step.target)
+                _STEP_PROJECT.observe(time.perf_counter() - step_started)
             else:
                 assert isinstance(step, MergeStep)
                 first = live.pop(step.first.relation)
                 second = live.pop(step.second.relation)
                 build, probe = _merge_operands(first, second, annihilates)
                 produced = build.merge(probe, step.target)
+                _STEP_MERGE.observe(time.perf_counter() - step_started)
             live[step.target.relation] = produced
             max_live = max(
                 max_live, sum(len(relation) for relation in live.values())
@@ -199,6 +250,9 @@ def execute_plan(
             if on_step is not None:
                 on_step(step, produced)
         final = live[plan.final_relation]
+    tier = "scalar" if kernel_mode == "scalar" else "batched"
+    _TIER_EXECUTIONS.labels(tier=tier).inc()
+    _PLAN_SECONDS.labels(tier=tier).observe(time.perf_counter() - started)
     return ExecutionReport(
         result=final.annotation(()),
         steps_executed=len(plan.steps),
@@ -253,10 +307,12 @@ def _execute_plan_columnar(
     annihilates = annotated.monoid.annihilates
     max_live = sum(len(relation) for relation in live.values())
     for step in plan.steps:
+        step_started = time.perf_counter()
         if isinstance(step, ProjectStep):
             name = step.source.relation
             source = columnar(name, live.pop(name))
             produced = source.project_out(step.variable, step.target)
+            _STEP_PROJECT.observe(time.perf_counter() - step_started)
         else:
             assert isinstance(step, MergeStep)
             first = columnar(step.first.relation, live.pop(step.first.relation))
@@ -265,6 +321,7 @@ def _execute_plan_columnar(
             )
             build, probe = _merge_operands(first, second, annihilates)
             produced = build.merge(probe, step.target)
+            _STEP_MERGE.observe(time.perf_counter() - step_started)
         live[step.target.relation] = produced
         max_live = max(
             max_live, sum(len(relation) for relation in live.values())

@@ -262,7 +262,31 @@ def execute_fused(
             results[index] = value
     for index in solo:
         results[index] = tasks[index].fallback()
+    events = _obs_events()
+    if report.fused_batches:
+        events.labels(event="batches").inc(report.fused_batches)
+        events.labels(event="queries").inc(report.fused_queries)
+    if solo:
+        events.labels(event="serial_fallbacks").inc(len(solo))
     return report
+
+
+def _obs_events():
+    """The ``repro_fused_events_total`` family, registered on first use."""
+    global _obs_family
+    if _obs_family is None:
+        from repro.obs import global_registry
+
+        _obs_family = global_registry().counter(
+            "repro_fused_events_total",
+            "Shared-scan fusion outcomes "
+            "(batches run, queries fused, serial fallbacks).",
+            labels=("event",),
+        )
+    return _obs_family
+
+
+_obs_family = None
 
 
 def _binding_masks(plan: Plan, binding, base_views, np):

@@ -307,6 +307,29 @@ def clear_plan_cache() -> None:
         _plan_cache_misses = 0
 
 
+def _register_plan_cache_gauges() -> None:
+    """Expose the plan cache as callback gauges on the global registry.
+
+    Callback gauges read :func:`plan_cache_info` only at scrape time, so
+    the compile hot path carries no extra bookkeeping.
+    """
+    from repro.obs import global_registry
+
+    registry = global_registry()
+    for field, help_text in (
+        ("hits", "Plan-cache hits since start (or last explicit clear)."),
+        ("misses", "Plan-cache misses since start (or last explicit clear)."),
+        ("size", "Plans currently memoized in the plan cache."),
+    ):
+        gauge = registry.gauge(f"repro_plan_cache_{field}", help_text).labels()
+        gauge.set_function(
+            lambda field=field: plan_cache_info()[field]
+        )
+
+
+_register_plan_cache_gauges()
+
+
 def set_plan_cache_size(size: int) -> None:
     """Resize the plan cache, evicting oldest entries when shrinking.
 

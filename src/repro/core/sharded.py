@@ -202,9 +202,33 @@ def reset_sharded_stats() -> None:
         _last_error = None
 
 
+def _obs_events():
+    """The ``repro_sharded_events_total`` family, registered on first use.
+
+    Lazy so importing this module (which the engine does eagerly) never
+    races registry construction during interpreter startup; the registry
+    itself is process-global, matching the module-global ``_stats``.
+    """
+    global _obs_family
+    if _obs_family is None:
+        from repro.obs import global_registry
+
+        _obs_family = global_registry().counter(
+            "repro_sharded_events_total",
+            "Sharded-tier lifecycle events "
+            "(dispatches, delegations, rebuilds, fallbacks).",
+            labels=("event",),
+        )
+    return _obs_family
+
+
+_obs_family = None
+
+
 def _count(key: str, amount: int = 1) -> None:
     with _stats_lock:
         _stats[key] += amount
+    _obs_events().labels(event=key).inc(amount)
 
 
 # ----------------------------------------------------------------------
@@ -523,8 +547,8 @@ def maybe_execute_sharded(plan: Plan, annotated, kernel):
         raise
     except Exception as exc:
         with _stats_lock:
-            _stats["fallbacks"] += 1
             _last_error = f"{type(exc).__name__}: {exc}"
+        _count("fallbacks")
         return None
     values = [outcome[0] for outcome in outcomes]
     folded = kernel_for(monoid).fold_add([values])[0]

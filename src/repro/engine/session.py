@@ -80,6 +80,7 @@ from repro.db.annotated import KDatabase, KRelation
 from repro.db.database import Database
 from repro.db.fact import Fact
 from repro.exceptions import ReproError
+from repro.obs import MetricsRegistry
 from repro.problems.bagset_max import BagSetInstance
 from repro.problems.bagset_max import annotation_psi as _bagset_psi
 from repro.problems.possible_worlds import ProbabilisticDatabase
@@ -237,6 +238,45 @@ _DERIVED_FROM: dict[str, tuple[str, Callable[[object, dict], object]]] = {
 }
 
 
+#: stats()-key → Prometheus family for the session work counters; one
+#: shared table so the stats() view and the /metrics exposition can never
+#: drift apart.
+_SESSION_COUNTER_FAMILIES: dict[str, tuple[str, str]] = {
+    "evaluations": (
+        "repro_session_evaluations_total",
+        "Plan executions issued by this session state.",
+    ),
+    "annotation_builds": (
+        "repro_annotation_builds_total",
+        "ψ-annotated database builds.",
+    ),
+    "memo_hits": (
+        "repro_memo_hits_total",
+        "Result-memo hits (including sweep-derived answers).",
+    ),
+    "memo_misses": (
+        "repro_memo_misses_total",
+        "Result-memo misses.",
+    ),
+    "fused_batches": (
+        "repro_session_fused_batches_total",
+        "Shared-scan batches of 2+ queries this session ran.",
+    ),
+    "fused_queries": (
+        "repro_session_fused_queries_total",
+        "Queries answered inside those shared-scan batches.",
+    ),
+}
+
+
+def _session_metrics(registry: MetricsRegistry):
+    """Resolve the session work counters on *registry*, keyed by stats() name."""
+    return {
+        key: registry.counter(name, help_text).labels()
+        for key, (name, help_text) in _SESSION_COUNTER_FAMILIES.items()
+    }
+
+
 class ResultMemo(OrderedDict):
     """A size-capped LRU mapping backing the session result memos.
 
@@ -345,15 +385,25 @@ class EngineSession:
         # Capped like the result memo — the packed count vectors are the
         # session's largest per-entry residents.
         self._sat_pairs: ResultMemo = ResultMemo(memo_limit)
-        # Work counters (observability; see stats()).
-        self._counters = {
-            "evaluations": 0,
-            "annotation_builds": 0,
-            "memo_hits": 0,
-            "memo_misses": 0,
-            "fused_batches": 0,
-            "fused_queries": 0,
-        }
+        # Work counters live on a per-session-state MetricsRegistry (shared
+        # across siblings by share_state_from); stats() is a view over it
+        # and the HTTP front-end scrapes it directly.
+        self._registry = MetricsRegistry()
+        self._metrics = _session_metrics(self._registry)
+        self._register_state_gauges()
+
+    def _register_state_gauges(self) -> None:
+        """Callback gauges over the memo, evaluated only at scrape time."""
+        registry = self._registry
+        registry.gauge(
+            "repro_memo_entries", "Entries currently in the result memo."
+        ).labels().set_function(lambda: len(self._results))
+        registry.gauge(
+            "repro_memo_evictions",
+            "Result- and #Sat-pair-memo LRU evictions so far.",
+        ).labels().set_function(
+            lambda: self._results.evictions + self._sat_pairs.evictions
+        )
 
     # ------------------------------------------------------------------
     # State sharing (the SessionPool hand-off)
@@ -378,7 +428,8 @@ class EngineSession:
         self._instances = donor._instances
         self._results = donor._results
         self._sat_pairs = donor._sat_pairs
-        self._counters = donor._counters
+        self._registry = donor._registry
+        self._metrics = donor._metrics
 
     # ------------------------------------------------------------------
     # Kernel-tier override (the circuit breaker's degrade hook)
@@ -414,8 +465,7 @@ class EngineSession:
     # Shared execution helpers
     # ------------------------------------------------------------------
     def _run(self, annotated: KDatabase, on_step: StepHook | None = None):
-        with self._lock:
-            self._counters["evaluations"] += 1
+        self._metrics["evaluations"].inc()
         plan = compile_for_database(self.query, annotated, self.engine.policy)
         return execute_plan(
             plan,
@@ -459,7 +509,7 @@ class EngineSession:
             annotated = build()
             with self._lock:
                 self._annotated[key] = annotated
-                self._counters["annotation_builds"] += 1
+            self._metrics["annotation_builds"].inc()
             return annotated
 
     def _monoid_for(self, key: object, family: str, *args, **kwargs):
@@ -510,7 +560,7 @@ class EngineSession:
             )
         return tuple(parts)
 
-    def request(self, family: str, **params):
+    def request(self, family: str, *, trace=None, **params):
         """Serve one request through the session result memo.
 
         Dispatches to the family's handler (see :data:`REQUEST_FAMILIES`)
@@ -524,6 +574,10 @@ class EngineSession:
         ``sat_counts`` from ``sat_vector``) — the scheduler's batching
         relies on that.  Memoized results are shared objects: treat them as
         immutable.
+
+        *trace*, when given, is a :class:`repro.obs.Trace`: it receives a
+        ``memo_hit`` or ``executed`` mark so request lifecycles show where
+        the answer came from.
         """
         handler = REQUEST_FAMILIES.get(family)
         if handler is None:
@@ -534,10 +588,14 @@ class EngineSession:
         params = canonical_params(family, params)
         hit, value = self._memo_probe(family, params)
         if hit:
+            if trace is not None:
+                trace.mark("memo_hit")
             return value
         with self._lock:
             before = self._request_fingerprint(family, params)
         value = handler(self, **params)
+        if trace is not None:
+            trace.mark("executed", kernel_mode=self.kernel_mode)
         self._memo_store(family, params, before, value)
         return value
 
@@ -553,7 +611,7 @@ class EngineSession:
             entry = self._results.get(key)
             if entry is not None:
                 if entry[0] == self._request_fingerprint(family, params):
-                    self._counters["memo_hits"] += 1
+                    self._metrics["memo_hits"].inc()
                     return True, entry[1]
                 del self._results[key]  # stale: underlying versions moved
             derived = _DERIVED_FROM.get(family)
@@ -565,12 +623,12 @@ class EngineSession:
                 ):
                     value = derive(sweep_entry[1], params)
                     if value is not None:
-                        self._counters["memo_hits"] += 1
+                        self._metrics["memo_hits"].inc()
                         self._results[key] = (
                             self._request_fingerprint(family, params), value
                         )
                         return True, value
-            self._counters["memo_misses"] += 1
+            self._metrics["memo_misses"].inc()
             return False, None
 
     def _memo_store(
@@ -659,10 +717,10 @@ class EngineSession:
             pending.append((index, before))
         if tasks:
             report = execute_fused(tasks, kernel_mode=self.kernel_mode)
-            with self._lock:
-                self._counters["evaluations"] += len(tasks)
-                self._counters["fused_batches"] += report.fused_batches
-                self._counters["fused_queries"] += report.fused_queries
+            self._metrics["evaluations"].inc(len(tasks))
+            if report.fused_batches:
+                self._metrics["fused_batches"].inc(report.fused_batches)
+                self._metrics["fused_queries"].inc(report.fused_queries)
             for (index, before), value in zip(pending, report.results):
                 results[index] = value
                 if use_memo and before is not None:
@@ -714,8 +772,7 @@ class EngineSession:
 
         if cache_key is None:
             annotated = build()
-            with self._lock:
-                self._counters["annotation_builds"] += 1
+            self._metrics["annotation_builds"].inc()
         else:
             annotated = self._annotated_for(cache_key, build)
         return self._run(annotated)
@@ -824,8 +881,7 @@ class EngineSession:
 
     def _run_bound(self, annotated: KDatabase, binding):
         """Serve one bound request: a width-1 fused run (or its fallback)."""
-        with self._lock:
-            self._counters["evaluations"] += 1
+        self._metrics["evaluations"].inc()
         task = self._bound_task(annotated, binding)
         return execute_fused(
             [task], kernel_mode=self.kernel_mode
@@ -1063,8 +1119,7 @@ class EngineSession:
             ).facts()
         fn = annotation_of or (lambda _fact: monoid.one)
         annotated = self._annotate(monoid, facts, fn)
-        with self._lock:
-            self._counters["annotation_builds"] += 1
+        self._metrics["annotation_builds"].inc()
         return execute_grouped_plan(
             plan, annotated, kernel_mode=self.kernel_mode
         )
@@ -1089,8 +1144,7 @@ class EngineSession:
             ).facts()
         fn = annotation_of or (lambda _fact: monoid.one)
         annotated = self._annotate(monoid, facts, fn)
-        with self._lock:
-            self._counters["annotation_builds"] += 1
+        self._metrics["annotation_builds"].inc()
         return IncrementalEvaluator(
             self.query,
             annotated,
@@ -1101,17 +1155,33 @@ class EngineSession:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The session state's metric registry (shared across pool siblings).
+
+        The HTTP front-end composes this with the scheduler's registry into
+        one ``/metrics`` exposition; :meth:`stats` is a dict view over the
+        same counters.
+        """
+        return self._registry
+
     def stats(self) -> dict:
-        """Cached-state sizes and work counters for this session."""
+        """Cached-state sizes and work counters for this session.
+
+        Every counter value is read from :attr:`metrics_registry` — the
+        keys predate the registry and keep their historical names and
+        meanings, but there is only one underlying count.
+        """
+        metrics = self._metrics
         with self._lock:
             annotated_databases = list(self._annotated.values())
             if self._raw_annotated is not None:
                 annotated_databases.append(self._raw_annotated)
             info: dict = {
-                "evaluations": self._counters["evaluations"],
-                "annotation_builds": self._counters["annotation_builds"],
-                "fused_batches": self._counters["fused_batches"],
-                "fused_queries": self._counters["fused_queries"],
+                "evaluations": metrics["evaluations"].value,
+                "annotation_builds": metrics["annotation_builds"].value,
+                "fused_batches": metrics["fused_batches"].value,
+                "fused_queries": metrics["fused_queries"].value,
                 "annotated_databases": len(annotated_databases),
                 # Columnar (array-tier) views cached across this session's
                 # requests, summed over the session's annotated databases.
@@ -1123,8 +1193,8 @@ class EngineSession:
                 "grouped_plans": len(self._grouped_plans),
                 "memo": {
                     "entries": len(self._results),
-                    "hits": self._counters["memo_hits"],
-                    "misses": self._counters["memo_misses"],
+                    "hits": metrics["memo_hits"].value,
+                    "misses": metrics["memo_misses"].value,
                     "limit": self._results.limit,
                     "evictions": (
                         self._results.evictions + self._sat_pairs.evictions

@@ -33,6 +33,13 @@ is the seeded chaos harness that proves all of the above in
 Every request is executed through the session's memoizing
 :meth:`~repro.engine.session.EngineSession.request` entry point, so all
 answers are bit-identical to serial one-shot evaluation by construction.
+
+The stack is network-reachable through
+:class:`~repro.serve.http.HttpFrontend` (stdlib asyncio; ``repro serve
+--http PORT``) and observable end to end through :mod:`repro.obs`:
+per-family request counters, latency histograms and queue/breaker gauges
+compose into one Prometheus exposition at ``GET /metrics``, and every
+request carries a :class:`repro.obs.Trace` of its lifecycle.
 """
 
 from repro.serve.admission import (
@@ -42,6 +49,7 @@ from repro.serve.admission import (
     TokenBucket,
 )
 from repro.serve.faults import FaultInjector, FaultPlan, WorkerKilled
+from repro.serve.http import HttpFrontend
 from repro.serve.io import load_request_stream, request_from_dict
 from repro.serve.pool import SessionPool
 from repro.serve.request import Request
@@ -53,6 +61,7 @@ __all__ = [
     "CircuitBreaker",
     "FaultInjector",
     "FaultPlan",
+    "HttpFrontend",
     "Request",
     "RetryPolicy",
     "Scheduler",

@@ -218,6 +218,26 @@ class AdmissionControl:
                 "rate_limited": self._rate_limited,
             }
 
+    def observe(self, registry) -> None:
+        """Expose the admission counters on *registry* as callback gauges.
+
+        Called by the scheduler when it adopts this policy; the gauges read
+        the live counters only at scrape time, so admission decisions carry
+        no extra bookkeeping.
+        """
+        family = registry.gauge(
+            "repro_admission_events",
+            "Admission-control decisions (rejected, shed, rate_limited).",
+            labels=("decision",),
+        )
+        family.labels(decision="rejected").set_function(
+            lambda: self._rejected
+        )
+        family.labels(decision="shed").set_function(lambda: self._shed)
+        family.labels(decision="rate_limited").set_function(
+            lambda: self._rate_limited
+        )
+
     def __repr__(self) -> str:
         return (
             f"AdmissionControl(queue_limit={self.queue_limit}, "
@@ -420,6 +440,44 @@ class CircuitBreaker:
                 "degraded": statuses.count("degraded"),
                 "open": statuses.count("open"),
             }
+
+    def _count_status(self, status: str) -> int:
+        with self._lock:
+            return sum(
+                1 for state in self._states.values()
+                if state.status == status
+            )
+
+    def observe(self, registry) -> None:
+        """Expose breaker state and counters on *registry* as callback gauges.
+
+        ``repro_breaker_sessions{state=…}`` reports how many sessions are
+        currently degraded or open — the ``/healthz`` signal — and the
+        trip/recovery/rejection totals ride along for dashboards.
+        """
+        states = registry.gauge(
+            "repro_breaker_sessions",
+            "Sessions currently in each breaker state.",
+            labels=("state",),
+        )
+        states.labels(state="degraded").set_function(
+            lambda: self._count_status("degraded")
+        )
+        states.labels(state="open").set_function(
+            lambda: self._count_status("open")
+        )
+        events = registry.gauge(
+            "repro_breaker_events",
+            "Breaker lifecycle totals (trips, recoveries, open_rejections).",
+            labels=("event",),
+        )
+        events.labels(event="trips").set_function(lambda: self._trips)
+        events.labels(event="recoveries").set_function(
+            lambda: self._recoveries
+        )
+        events.labels(event="open_rejections").set_function(
+            lambda: self._open_rejections
+        )
 
     def __repr__(self) -> str:
         return (

@@ -49,11 +49,17 @@ class Request:
     requests coalesce freely.  Expiry is enforced by the scheduler at
     claim time and resolves the future with
     :class:`~repro.exceptions.DeadlineExceeded` before any execution.
+
+    ``trace`` — a :class:`repro.obs.Trace` the scheduler attaches at
+    submission — is likewise observability metadata, not identity: it is
+    excluded from equality, hashing and ``repr``, and the same trace is
+    reachable from the returned future via :func:`repro.obs.trace_of`.
     """
 
     family: str
     params: Params = field(default_factory=tuple)
     deadline: float | None = field(default=None, compare=False)
+    trace: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         normalized = canonical_params(self.family, dict(self.params))

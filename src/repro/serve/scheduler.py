@@ -66,9 +66,11 @@ from repro.exceptions import (
     CircuitOpenError,
     DeadlineExceeded,
     QueueFullError,
+    RateLimitedError,
     ReproError,
     TransientError,
 )
+from repro.obs import EventLog, MetricsRegistry, Trace, trace_of
 from repro.serve.admission import AdmissionControl, CircuitBreaker, RetryPolicy
 from repro.serve.faults import FaultInjector
 from repro.serve.request import Request
@@ -82,6 +84,95 @@ _SWEEPS = {
 #: Families whose binding-carrying requests batch into one shared columnar
 #: scan (:meth:`EngineSession.evaluate_many` → :mod:`repro.core.fused`).
 _FUSED_FAMILIES = ("pqe", "expected_count")
+
+#: Every scheduler lifecycle event, by its historical ``stats()`` key.
+#: These are the children of ``repro_scheduler_events_total{event=…}``;
+#: :meth:`Scheduler.stats` is generated from one snapshot of this family,
+#: so the flat keys, the ``batching`` aliases and the Prometheus series
+#: can never disagree.
+EVENT_COUNTERS = (
+    "submitted",
+    "coalesced",
+    "executed",
+    "sweeps",
+    "swept_requests",
+    "sweep_failures",
+    "fused_batches",
+    "fused_queries",
+    "fused_failures",
+    "timeouts",
+    "retries",
+    "worker_deaths",
+    "worker_respawns",
+    "requeued",
+    "unresolved_at_close",
+)
+
+#: The batching-effectiveness subset, nested under ``stats()["batching"]``.
+BATCHING_EVENTS = (
+    "sweeps",
+    "swept_requests",
+    "sweep_failures",
+    "fused_batches",
+    "fused_queries",
+    "fused_failures",
+)
+
+#: Batching events *also* kept as historical flat ``stats()`` keys.
+FLAT_BATCHING_ALIASES = (
+    "sweeps",
+    "swept_requests",
+    "sweep_failures",
+    "fused_batches",
+    "fused_queries",
+)
+
+#: The headline counters the CLI ``--stats`` printer reports, in print
+#: order.  Each name is a flat :meth:`Scheduler.stats` key; the printer
+#: iterates this tuple, so adding a counter here is the whole change.
+HEADLINE_COUNTERS = (
+    "coalesced",
+    "executed",
+    "sweeps",
+    "swept_requests",
+    "sweep_failures",
+    "fused_batches",
+    "fused_queries",
+    "rejected",
+    "shed",
+    "rate_limited",
+    "timeouts",
+    "retries",
+    "worker_respawns",
+    "breaker_trips",
+)
+
+
+def classify_outcome(error: BaseException | None) -> str:
+    """The ``repro_requests_total`` outcome label for a resolution *error*.
+
+    ``None`` is ``"ok"``; the serving-layer error taxonomy maps onto
+    stable label values so dashboards can split availability by cause.
+
+    >>> classify_outcome(None)
+    'ok'
+    >>> classify_outcome(DeadlineExceeded("late"))
+    'deadline'
+    """
+    if error is None:
+        return "ok"
+    if isinstance(error, DeadlineExceeded):
+        return "deadline"
+    # RateLimitedError subclasses QueueFullError: check the subclass first.
+    if isinstance(error, RateLimitedError):
+        return "rate_limited"
+    if isinstance(error, QueueFullError):
+        return "queue_full"
+    if isinstance(error, CircuitOpenError):
+        return "circuit_open"
+    if isinstance(error, TransientError):
+        return "transient"
+    return "error"
 
 
 def _fusable(request: Request) -> bool:
@@ -143,6 +234,9 @@ class Scheduler:
     requeue_limit:
         How many worker deaths one flight survives (re-queued each time)
         before its futures fail with :class:`TransientError`.
+    event_log:
+        Optional :class:`repro.obs.EventLog`; every resolved request's
+        trace is appended to it as one JSON line (the flight recorder).
     """
 
     def __init__(
@@ -155,6 +249,7 @@ class Scheduler:
         faults: FaultInjector | None = None,
         requeue_limit: int = 5,
         shard_workers: int | None = None,
+        event_log: EventLog | None = None,
     ):
         validate_worker_count(workers, what="worker")
         self.workers = workers
@@ -170,6 +265,7 @@ class Scheduler:
         self._retry = retry if retry is not None else RetryPolicy()
         self._breaker = breaker
         self._faults = faults
+        self._event_log = event_log
         self._clock = faults.clock if faults is not None else time.monotonic
         self._retry_rng = (
             faults.retry_rng() if faults is not None else random.Random(0x5EED)
@@ -179,21 +275,38 @@ class Scheduler:
         self._pending: dict[tuple, _Flight] = {}
         self._queued = 0  # unclaimed flights (the bounded-queue depth)
         self._closed = False
-        self._submitted = 0
-        self._coalesced = 0
-        self._executed = 0
-        self._sweeps = 0
-        self._swept_requests = 0
-        self._sweep_failures = 0
-        self._fused_batches = 0
-        self._fused_queries = 0
-        self._fused_failures = 0
-        self._timeouts = 0
-        self._retries = 0
-        self._worker_deaths = 0
-        self._respawns = 0
-        self._requeued = 0
-        self._unresolved_at_close = 0
+        # Every work/robustness counter lives on the registry; stats() and
+        # the /metrics exposition are two views over the same children.
+        self.metrics_registry = MetricsRegistry()
+        events = self.metrics_registry.counter(
+            "repro_scheduler_events_total",
+            "Scheduler lifecycle events (submissions, batches, faults).",
+            labels=("event",),
+        )
+        self._events = {name: events.labels(event=name) for name in EVENT_COUNTERS}
+        self._requests_total = self.metrics_registry.counter(
+            "repro_requests_total",
+            "Resolved (or rejected-at-submit) requests by family and outcome.",
+            labels=("family", "outcome"),
+        )
+        self._latency = self.metrics_registry.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency (submission to resolution).",
+            labels=("family",),
+        )
+        self.metrics_registry.gauge(
+            "repro_queue_depth", "Unclaimed flights waiting in the queue."
+        ).labels().set_function(lambda: self._queued)
+        self.metrics_registry.gauge(
+            "repro_pending_flights",
+            "In-flight signatures (queued or executing).",
+        ).labels().set_function(lambda: len(self._pending))
+        self.metrics_registry.gauge(
+            "repro_scheduler_workers", "Configured worker-thread count."
+        ).labels().set(workers)
+        self._admission.observe(self.metrics_registry)
+        if self._breaker is not None:
+            self._breaker.observe(self.metrics_registry)
         self._threads = [
             threading.Thread(
                 target=self._work, name=f"repro-serve-{index}", daemon=True
@@ -220,6 +333,10 @@ class Scheduler:
         request.validate()
         key = (id(session), request.signature)
         future: Future = Future()
+        trace = Trace(request.family)
+        trace.mark("submitted")
+        future._repro_trace = trace
+        object.__setattr__(request, "trace", trace)
         now = self._clock()
         shed: list[tuple[Future, BaseException]] = []
         try:
@@ -234,17 +351,17 @@ class Scheduler:
                     )
                 self._admission.admit(request.family, now)
                 expiry = self._admission.expiry_for(request, now)
-                self._submitted += 1
                 flight = self._pending.get(key)
                 if flight is not None:
                     flight.entries.append((future, expiry))
-                    self._coalesced += 1
+                    self._events["submitted"].inc()
+                    self._events["coalesced"].inc()
+                    trace.mark("coalesced")
                     return future
                 limit = self._admission.queue_limit
                 if limit is not None and self._queued >= limit:
                     if self._admission.shed_policy == "reject":
                         self._admission.count_rejected()
-                        self._submitted -= 1
                         raise QueueFullError(
                             f"request queue is full "
                             f"({self._queued}/{limit} pending)"
@@ -254,11 +371,24 @@ class Scheduler:
                 flight.entries.append((future, expiry))
                 self._pending[key] = flight
                 self._queued += 1
+                self._events["submitted"].inc()
+                trace.mark("enqueued")
                 # Enqueue under the lock: close() also sets _closed under
                 # it, so every accepted flight's key is in the queue before
                 # the shutdown sentinels — no future can be left unserved.
                 self._queue.put(key)
             return future
+        except BaseException as error:
+            # Rejected at submission: no future resolution will happen, so
+            # account the request (and close its trace) here.
+            outcome = classify_outcome(error)
+            trace.mark("resolved", outcome=outcome)
+            self._requests_total.labels(
+                family=request.family, outcome=outcome
+            ).inc()
+            if self._event_log is not None:
+                self._event_log.record(trace)
+            raise
         finally:
             for victim, error in shed:
                 self._resolve(victim, None, error)
@@ -320,7 +450,7 @@ class Scheduler:
         live = []
         for future, expiry in flight.entries:
             if expiry is not None and now >= expiry:
-                self._timeouts += 1
+                self._events["timeouts"].inc()
                 to_resolve.append(
                     (future, DeadlineExceeded(
                         f"deadline expired before execution: {flight.request}"
@@ -345,6 +475,10 @@ class Scheduler:
             return False
         flight.claimed = True
         self._queued -= 1
+        for future, _expiry in live:
+            trace = trace_of(future)
+            if trace is not None:
+                trace.mark("claimed")
         return True
 
     def _claim(self, key: tuple) -> list[tuple[tuple, _Flight]]:
@@ -403,13 +537,16 @@ class Scheduler:
             try:
                 if self._faults is not None:
                     self._faults.before_attempt()
-                value = session.request(family, **flight.request.kwargs)
+                value = session.request(
+                    family,
+                    trace=trace_of(flight.request),
+                    **flight.request.kwargs,
+                )
             except BaseException as error:
                 if self._breaker is not None:
                     self._breaker.record_failure(session, error, self._clock())
                 if attempt + 1 < attempts and self._retry.retriable(error):
-                    with self._lock:
-                        self._retries += 1
+                    self._events["retries"].inc()
                     delay = self._retry.delay_for(attempt, self._retry_rng)
                     if delay > 0:
                         time.sleep(delay)
@@ -435,16 +572,15 @@ class Scheduler:
                 if self._faults is not None:
                     self._faults.before_attempt()
                 session.request(sweep_family)
-                with self._lock:
-                    self._sweeps += 1
-                    self._swept_requests += len(batch)
+                self._events["sweeps"].inc()
+                self._events["swept_requests"].inc(len(batch))
+                self._mark_batch(batch, "swept", len(batch))
             except Exception:
                 # Counted, never swallowed silently: the batch falls
                 # through to per-flight execution below, which surfaces
                 # the error on the request(s) it actually belongs to (and
                 # retries transient failures per flight).
-                with self._lock:
-                    self._sweep_failures += 1
+                self._events["sweep_failures"].inc()
         elif _fusable(first.request) and len(batch) >= 2:
             # Shared-scan fusion: answer the whole claimed batch in one
             # stacked columnar pass (bit-identical to per-flight serial by
@@ -460,17 +596,16 @@ class Scheduler:
                 session.evaluate_many(
                     [flight.request for _key, flight in batch]
                 )
-                with self._lock:
-                    self._fused_batches += 1
-                    self._fused_queries += len(batch)
+                self._events["fused_batches"].inc()
+                self._events["fused_queries"].inc(len(batch))
+                self._mark_batch(batch, "fused", len(batch))
             except Exception:
-                with self._lock:
-                    self._fused_failures += 1
+                self._events["fused_failures"].inc()
         outcomes = []
         for _key, flight in batch:
             outcomes.append(self._execute_flight(session, family, flight))
+        self._events["executed"].inc(len(batch))
         with self._lock:
-            self._executed += len(batch)
             resolved = []
             for (key, flight), (_f, value, error) in zip(batch, outcomes):
                 if self._pending.get(key) is flight:
@@ -483,8 +618,18 @@ class Scheduler:
                 self._resolve(future, value, error)
 
     @staticmethod
+    def _mark_batch(
+        batch: list[tuple[tuple, _Flight]], stage: str, size: int
+    ) -> None:
+        """Mark every live trace in *batch* with a batching *stage*."""
+        for _key, flight in batch:
+            for future, _expiry in flight.entries:
+                trace = trace_of(future)
+                if trace is not None:
+                    trace.mark(stage, batch_size=size)
+
     def _resolve(
-        future: Future, value: object, error: BaseException | None
+        self, future: Future, value: object, error: BaseException | None
     ) -> None:
         """Resolve *future*, tolerating cancellation and double resolution.
 
@@ -493,16 +638,38 @@ class Scheduler:
         the worker thread, stranding every other pending request.  A
         future already failed by ``close(timeout=…)`` while its execution
         straggled is likewise left alone.
+
+        This is also where a request's observability closes out: the
+        outcome counter, the latency histogram and the trace's final
+        ``resolved`` mark all happen here, so every accepted future is
+        accounted exactly once.
         """
         try:
             if not future.set_running_or_notify_cancel():
+                self._account(future, "cancelled")
                 return
             if error is None:
                 future.set_result(value)
             else:
                 future.set_exception(error)
         except InvalidStateError:
-            pass
+            return
+        self._account(future, classify_outcome(error))
+
+    def _account(self, future: Future, outcome: str) -> None:
+        """Record one future's final outcome, latency and trace line."""
+        trace = trace_of(future)
+        if trace is None:
+            return
+        trace.mark("resolved", outcome=outcome)
+        total = trace.total
+        self._requests_total.labels(
+            family=trace.family, outcome=outcome
+        ).inc()
+        if total is not None:
+            self._latency.labels(family=trace.family).observe(total)
+        if self._event_log is not None:
+            self._event_log.record(trace)
 
     def _recover(self, batch: list[tuple[tuple, _Flight]], error: BaseException) -> None:
         """Worker supervision: re-queue or fail the dead worker's flights.
@@ -516,7 +683,7 @@ class Scheduler:
         to_fail: list[tuple[Future, float | None]] = []
         replacement = None
         with self._lock:
-            self._worker_deaths += 1
+            self._events["worker_deaths"].inc()
             respawn = not self._closed
             for key, flight in batch:
                 if self._pending.get(key) is not flight:
@@ -525,16 +692,19 @@ class Scheduler:
                     flight.requeues += 1
                     flight.claimed = False
                     self._queued += 1
-                    self._requeued += 1
+                    self._events["requeued"].inc()
                     self._queue.put(key)
                 else:
                     del self._pending[key]
                     to_fail.extend(flight.entries)
             if respawn:
-                self._respawns += 1
+                self._events["worker_respawns"].inc()
                 replacement = threading.Thread(
                     target=self._work,
-                    name=f"repro-serve-respawn-{self._respawns}",
+                    name=(
+                        "repro-serve-respawn-"
+                        f"{self._events['worker_respawns'].value}"
+                    ),
                     daemon=True,
                 )
                 current = threading.current_thread()
@@ -591,7 +761,8 @@ class Scheduler:
                 leftovers.extend(flight.entries)
                 del self._pending[key]
             self._queued = 0
-            self._unresolved_at_close += len(leftovers)
+            if leftovers:
+                self._events["unresolved_at_close"].inc(len(leftovers))
         if leftovers:
             error = ReproError(
                 "scheduler closed before this request resolved"
@@ -608,59 +779,57 @@ class Scheduler:
     def stats(self) -> dict:
         """Work + robustness counters (submissions, rejections, retries…).
 
-        Flat keys cover the headline counters the CLI prints; the nested
-        ``admission``/``breaker``/``faults`` entries carry each policy
-        object's full view (``breaker``/``faults`` are ``None`` when not
-        installed).  Batching effectiveness lives in the ``"batching"``
-        sub-dict — Shapley/Banzhaf sweep counters next to shared-scan
-        fusion counters — with the historical flat ``sweeps``/
-        ``swept_requests``/``sweep_failures`` keys kept as aliases.
+        Flat keys cover the headline counters the CLI prints (see
+        :data:`HEADLINE_COUNTERS`); the nested ``admission``/``breaker``/
+        ``faults`` entries carry each policy object's full view
+        (``breaker``/``faults`` are ``None`` when not installed).  Batching
+        effectiveness lives in the ``"batching"`` sub-dict — Shapley/
+        Banzhaf sweep counters next to shared-scan fusion counters — with
+        the historical flat aliases (:data:`FLAT_BATCHING_ALIASES`) kept.
+
+        Every number is read from **one** snapshot of
+        :attr:`metrics_registry`'s event family, so the flat keys, the
+        ``batching`` aliases and the Prometheus ``/metrics`` series are
+        views over the same counts and cannot drift apart.
         """
         admission = self._admission.stats()
         breaker = self._breaker.stats() if self._breaker is not None else None
+        events = {
+            name: child.value for name, child in self._events.items()
+        }
         with self._lock:
-            batching = {
-                "sweeps": self._sweeps,
-                "swept_requests": self._swept_requests,
-                "sweep_failures": self._sweep_failures,
-                "fused_batches": self._fused_batches,
-                "fused_queries": self._fused_queries,
-                "fused_failures": self._fused_failures,
-            }
-            return {
-                "workers": self.workers,
-                "submitted": self._submitted,
-                "coalesced": self._coalesced,
-                "executed": self._executed,
-                "batching": batching,
-                "sweeps": self._sweeps,
-                "swept_requests": self._swept_requests,
-                "sweep_failures": self._sweep_failures,
-                "fused_batches": self._fused_batches,
-                "fused_queries": self._fused_queries,
-                "pending": len(self._pending),
-                "queued": self._queued,
-                "rejected": admission["rejected"],
-                "shed": admission["shed"],
-                "rate_limited": admission["rate_limited"],
-                "timeouts": self._timeouts,
-                "retries": self._retries,
-                "worker_deaths": self._worker_deaths,
-                "worker_respawns": self._respawns,
-                "requeued": self._requeued,
-                "unresolved_at_close": self._unresolved_at_close,
-                "breaker_trips": breaker["trips"] if breaker else 0,
-                "breaker_open_rejections": (
-                    breaker["open_rejections"] if breaker else 0
-                ),
-                "shard_workers": sharded.shard_workers(),
-                "admission": admission,
-                "breaker": breaker,
-                "faults": (
-                    self._faults.stats() if self._faults is not None else None
-                ),
-                "sharded": sharded.sharded_stats(),
-            }
+            pending = len(self._pending)
+            queued = self._queued
+        return {
+            "workers": self.workers,
+            "submitted": events["submitted"],
+            "coalesced": events["coalesced"],
+            "executed": events["executed"],
+            "batching": {name: events[name] for name in BATCHING_EVENTS},
+            **{name: events[name] for name in FLAT_BATCHING_ALIASES},
+            "pending": pending,
+            "queued": queued,
+            "rejected": admission["rejected"],
+            "shed": admission["shed"],
+            "rate_limited": admission["rate_limited"],
+            "timeouts": events["timeouts"],
+            "retries": events["retries"],
+            "worker_deaths": events["worker_deaths"],
+            "worker_respawns": events["worker_respawns"],
+            "requeued": events["requeued"],
+            "unresolved_at_close": events["unresolved_at_close"],
+            "breaker_trips": breaker["trips"] if breaker else 0,
+            "breaker_open_rejections": (
+                breaker["open_rejections"] if breaker else 0
+            ),
+            "shard_workers": sharded.shard_workers(),
+            "admission": admission,
+            "breaker": breaker,
+            "faults": (
+                self._faults.stats() if self._faults is not None else None
+            ),
+            "sharded": sharded.sharded_stats(),
+        }
 
     def __repr__(self) -> str:
         return f"Scheduler(workers={self.workers})"

@@ -78,6 +78,9 @@ class Server:
     faults:
         Optional :class:`~repro.serve.faults.FaultInjector` — the seeded
         chaos harness (tests only).
+    event_log:
+        Optional :class:`repro.obs.EventLog` receiving one JSON line per
+        resolved request (forwarded to the scheduler).
     **data:
         The session data sources (``database=``, ``probabilistic=``,
         ``exogenous=``/``endogenous=``, ``repair=``, ``annotated=`` — see
@@ -96,6 +99,7 @@ class Server:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         faults: FaultInjector | None = None,
+        event_log=None,
         **data,
     ):
         if pool is not None and engine is not None:
@@ -113,6 +117,7 @@ class Server:
                 breaker=breaker,
                 faults=faults,
                 shard_workers=shard_workers,
+                event_log=event_log,
             )
         except BaseException:
             # A failed construction (bad workers, bad data sources) must
@@ -158,6 +163,48 @@ class Server:
             "scheduler": self.scheduler.stats(),
             "session": self.session.stats(),
             "pool": self.pool.stats(),
+        }
+
+    def metrics_registries(self) -> list:
+        """Every registry behind this server, for one composed exposition.
+
+        Scheduler (requests, latency, queue, admission, breaker), session
+        state (evaluations, memo, fusion) and the process-wide core-engine
+        registry (tiers, sharded, fused, plan cache) — the HTTP front-end
+        renders all of them into one ``/metrics`` page via
+        :func:`repro.obs.render_prometheus`.
+        """
+        from repro.obs import global_registry
+
+        return [
+            self.scheduler.metrics_registry,
+            self.session.metrics_registry,
+            global_registry(),
+        ]
+
+    def render_metrics(self) -> str:
+        """The composed Prometheus text exposition for this server."""
+        from repro.obs import render_prometheus
+
+        return render_prometheus(self.metrics_registries())
+
+    def health(self) -> dict:
+        """A liveness/readiness summary for ``GET /healthz``.
+
+        ``ok`` is ``False`` only when the breaker holds sessions *open*
+        (failing fast) — degraded sessions still answer, bit-identically,
+        on the fallback tier.
+        """
+        scheduler = self.scheduler.stats()
+        breaker = scheduler["breaker"]
+        open_sessions = breaker["open"] if breaker else 0
+        return {
+            "ok": open_sessions == 0,
+            "queued": scheduler["queued"],
+            "pending": scheduler["pending"],
+            "workers": scheduler["workers"],
+            "breaker_open": open_sessions,
+            "breaker_degraded": breaker["degraded"] if breaker else 0,
         }
 
     def __repr__(self) -> str:

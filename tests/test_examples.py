@@ -82,6 +82,15 @@ class TestExampleScripts:
         assert "scalar" in output and "batched" in output
         assert "diverged" not in output
 
+    def test_serve_http(self):
+        output = run_example("serve_http.py")
+        assert "GET /healthz -> 200 ok=True" in output
+        assert "POST /v1/query -> 200" in output
+        assert "POST /v1/stream -> 200" in output
+        assert "GET /metrics -> 200" in output
+        assert "0 failed" in output
+        assert "front-end closed; scheduler drained" in output
+
     def test_run_all_experiments_subset(self):
         output = run_example("run_all_experiments.py", "E0", "E1")
         assert "E0: Figure 1 worked example" in output

@@ -34,7 +34,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Packages (or single modules) whose public callables must all be
 #: documented.  ``repro.core.fused`` rides along with the serving layers:
 #: the scheduler's batching contract is defined by its docstrings.
-DOCUMENTED_PACKAGES = ("repro.engine", "repro.serve", "repro.core.fused")
+DOCUMENTED_PACKAGES = (
+    "repro.engine",
+    "repro.serve",
+    "repro.serve.http",
+    "repro.core.fused",
+    "repro.obs",
+)
 
 #: Markdown documents whose relative links must resolve.
 LINKED_DOCUMENTS = ("ARCHITECTURE.md", "README.md")
